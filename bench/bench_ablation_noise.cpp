@@ -1,0 +1,67 @@
+// Noise-robustness ablation (§1, §2.2): the head-to-head the paper argues
+// qualitatively — "Mister880 cannot synthesize any algorithm other than
+// NewReno (measured without noise) and cannot handle noisy traces at all."
+// We sweep measurement noise over Reno traces and run both formulations:
+//   * Mister880 (decision problem): accept only exact replay matches.
+//   * Abagnale (optimization): minimize DTW distance.
+// Expected shape: both succeed at zero noise; the decision baseline stops
+// finding anything as soon as noise appears, while the optimization keeps
+// returning a Reno-family handler whose distance degrades gracefully.
+#include "bench_common.hpp"
+
+#include "synth/mister880.hpp"
+#include "trace/noise.hpp"
+
+using namespace abg;
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  bench::banner("Ablation — decision (Mister880) vs optimization (Abagnale) under noise");
+
+  auto clean = bench::collect("reno", /*seed=*/808);
+
+  std::printf("%-12s | %-24s | %-44s %9s\n", "cwnd noise", "Mister880 (decision)",
+              "Abagnale (optimization)", "DTW");
+  bench::rule();
+
+  for (double noise : {0.0, 0.01, 0.03, 0.10}) {
+    // Perturb the observation (vantage-point error on the inferred CWND).
+    util::Rng rng(9);
+    std::vector<trace::Trace> traces;
+    for (const auto& t : clean) {
+      trace::NoiseConfig cfg;
+      cfg.cwnd_noise_frac = noise;
+      traces.push_back(trace::add_noise(t, cfg, rng));
+    }
+    auto segs = bench::segments_for(traces);
+    std::vector<trace::Segment> working(segs.begin(),
+                                        segs.begin() + std::min<std::size_t>(3, segs.size()));
+
+    // Decision baseline.
+    synth::Mister880Options mopts;
+    mopts.max_depth = 3;
+    mopts.max_nodes = 7;
+    mopts.max_holes = 2;
+    mopts.max_sketches = bench::full_scale() ? 2000 : 400;
+    auto m = synth::mister880_synthesize(dsl::reno_dsl(), working, mopts);
+
+    // Optimization pipeline (same bounds).
+    auto sopts = bench::synth_opts(bench::full_scale() ? 3600.0 : 30.0);
+    sopts.max_depth = 3;
+    sopts.max_nodes = 7;
+    sopts.max_holes = 2;
+    auto a = synth::synthesize(dsl::reno_dsl(), segs, sopts);
+
+    char noise_label[16];
+    std::snprintf(noise_label, sizeof(noise_label), "+/- %2.0f%%", noise * 100);
+    std::printf("%-12s | %-24s | %-44.44s %9.2f\n", noise_label,
+                m.found() ? dsl::to_string(*m.handler).c_str() : "no handler found",
+                a.best.valid() ? dsl::to_string(*a.best.handler).c_str() : "<none>",
+                a.best.distance);
+  }
+  bench::rule();
+  std::printf("The decision formulation needs a point-for-point exact replay, so any\n"
+              "vantage-point noise kills it; the optimization formulation degrades\n"
+              "gracefully and keeps returning the Reno-family handler (§2.2, §3).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 3: distance metrics' tolerance to error in handler constants. For
+// BBR traces, take the expert (fine-tuned) handlers of BBR / Cubic / Reno /
+// Vegas, scale every constant by a multiplicative error in [0.1, 10], and
+// check — per metric — whether the BBR handler is still the closest to the
+// traces. The paper selects DTW because it stays correct over the widest
+// error range.
+#include <cmath>
+#include <functional>
+
+#include "bench_common.hpp"
+
+using namespace abg;
+
+namespace {
+
+// Scale every constant leaf by f.
+dsl::ExprPtr scale_constants(const dsl::ExprPtr& e, double f) {
+  switch (e->kind) {
+    case dsl::Expr::Kind::kConst: return dsl::constant(e->value * f);
+    case dsl::Expr::Kind::kOp: {
+      std::vector<dsl::ExprPtr> kids;
+      for (const auto& c : e->children) kids.push_back(scale_constants(c, f));
+      return dsl::node(e->op, std::move(kids));
+    }
+    default: return e;
+  }
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  bench::banner("Figure 3 — metric tolerance to constant error (BBR traces)");
+
+  // Clean environments only: Figure 3 isolates *constant error* in the
+  // handlers, so the traces themselves must show undisturbed steady-state
+  // BBR pulses (random loss would conflate trace noise with handler error).
+  auto envs = net::default_environments(3, /*seed=*/404);
+  for (auto& e : envs) e.duration_s = bench::full_scale() ? 30.0 : 15.0;
+  auto traces = net::collect_traces("bbr", envs);
+  // One long steady-state segment per environment: where BBR's pulse
+  // structure is visible (short loss-recovery fragments carry no signal).
+  auto segs = bench::longest_segments(traces);
+  std::printf("segments: %zu\n\n", segs.size());
+
+  const std::vector<std::string> experts = {"bbr", "cubic", "reno", "vegas"};
+  const int kSteps = 21;
+
+  int dtw_cells = 0, euclid_cells = 0;
+  for (auto metric : {distance::Metric::kDtw, distance::Metric::kEuclidean,
+                      distance::Metric::kManhattan, distance::Metric::kFrechet}) {
+    std::printf("%-11s ", distance::metric_name(metric));
+    int correct_cells = 0;
+    std::string strip;
+    for (int i = 0; i < kSteps; ++i) {
+      // error factor log-spaced in [0.1, 10]
+      const double f = std::pow(10.0, -1.0 + 2.0 * i / (kSteps - 1));
+      double best = 1e300;
+      std::string best_cca;
+      for (const auto& name : experts) {
+        auto h = scale_constants(dsl::known_handlers(name).fine_tuned, f);
+        const double d = bench::handler_distance(*h, segs, metric);
+        if (d < best) {
+          best = d;
+          best_cca = name;
+        }
+      }
+      const bool ok = best_cca == "bbr";
+      correct_cells += ok;
+      strip += ok ? '#' : '.';
+    }
+    if (metric == distance::Metric::kDtw) dtw_cells = correct_cells;
+    if (metric == distance::Metric::kEuclidean) euclid_cells = correct_cells;
+    std::printf("|%s|  correct %2d/%d error steps\n", strip.c_str(), correct_cells, kSteps);
+  }
+  std::printf("\nDTW correct on %d steps vs Euclidean's %d — the alignment-based metric\n"
+              "tolerates constant error the point-wise metrics cannot (§4.3).\n",
+              dtw_cells, euclid_cells);
+  std::printf("\n('#' = BBR's handler still closest at that error factor; '.' = another\n"
+              " CCA's handler won — the red-shaded region of Figure 3. Factors are\n"
+              " log-spaced 0.1x..10x left to right; DTW should have the widest '#' span.)\n");
+  return 0;
+}

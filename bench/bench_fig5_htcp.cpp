@@ -1,0 +1,66 @@
+// Figure 5: HTCP's inflection point vs the Reno-variant handler (§5.3). An
+// HTCP trace segment shows convex growth (the quadratic alpha ramp), yet the
+// plain Reno-variant handler achieves a distance low enough that Abagnale
+// never explores the more complex conditional expression. We print both
+// handlers' distances and the observed/synthesized series shapes.
+#include "bench_common.hpp"
+
+using namespace abg;
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  bench::banner("Figure 5 — HTCP: the Reno-variant handler is 'good enough'");
+
+  auto traces = bench::collect("htcp", /*seed=*/505);
+  // The longest-duration segment has the clearest inflection: H-TCP's alpha
+  // ramp only departs from Reno after a second without loss.
+  auto segs = bench::longest_segments(traces);
+  if (segs.empty()) {
+    std::printf("no segments collected\n");
+    return 1;
+  }
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const double dur_i = segs[i].samples.back().sig.now - segs[i].samples.front().sig.now;
+    const double dur_p =
+        segs[pick].samples.back().sig.now - segs[pick].samples.front().sig.now;
+    if (dur_i > dur_p) pick = i;
+  }
+  const auto& seg = segs[pick];
+
+  const auto& known = dsl::known_handlers("htcp");
+  auto reno_variant = dsl::add(dsl::sig(dsl::Signal::kCwnd), dsl::sig(dsl::Signal::kRenoInc));
+
+  const double d_reno = bench::handler_distance(*reno_variant, {seg});
+  const double d_tuned = bench::handler_distance(*known.fine_tuned, {seg});
+
+  std::printf("segment: %s, %zu acks, %.1f s\n", seg.env.label().c_str(), seg.samples.size(),
+              seg.samples.back().sig.now - seg.samples.front().sig.now);
+  std::printf("reno-variant handler  (cwnd + reno-inc): DTW %.2f\n", d_reno);
+  std::printf("fine-tuned handler    (%s): DTW %.2f\n",
+              dsl::to_string(*known.fine_tuned).c_str(), d_tuned);
+
+  // ASCII sparkline of observed vs reno-variant synthesized cwnd.
+  auto spark = [](const std::vector<double>& v) {
+    static const char* levels = " .:-=+*#%@";
+    double lo = 1e300, hi = -1e300;
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    std::string s;
+    const auto pts = distance::resample(v, 72);
+    for (double x : pts) {
+      const int idx = hi > lo ? static_cast<int>(9.0 * (x - lo) / (hi - lo)) : 0;
+      s += levels[std::clamp(idx, 0, 9)];
+    }
+    return s;
+  };
+  std::printf("\nobserved cwnd      |%s|\n", spark(synth::observed_series_pkts(seg)).c_str());
+  std::printf("reno-variant replay|%s|\n", spark(synth::replay(*reno_variant, seg)).c_str());
+  std::printf("fine-tuned replay  |%s|\n", spark(synth::replay(*known.fine_tuned, seg)).c_str());
+  std::printf("\nThe observed curve bends upward (H-TCP's quadratic ramp), but the linear\n"
+              "Reno-variant stays within a small DTW distance of it — which is why the\n"
+              "search returns the simpler expression (§5.3).\n");
+  return 0;
+}

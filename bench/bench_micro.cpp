@@ -1,0 +1,162 @@
+// Micro-benchmarks (google-benchmark) for the pipeline's hot paths: distance
+// kernels, handler evaluation/replay, sketch enumeration, and the simulator.
+// These quantify the §4.3 trade-off (DTW vs Euclidean runtime) and the §4.4
+// claim that small per-bucket solver queries enumerate faster than one big
+// whole-space query.
+#include <benchmark/benchmark.h>
+
+#include "distance/distance.hpp"
+#include "dsl/eval.hpp"
+#include "dsl/known_handlers.hpp"
+#include "dsl/units.hpp"
+#include "net/simulator.hpp"
+#include "synth/enumerator.hpp"
+#include "synth/replay.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace abg;
+
+std::vector<double> noisy_saw(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(i % 200) + rng.uniform(-3, 3);
+  }
+  return v;
+}
+
+void BM_Dtw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = noisy_saw(n, 1), b = noisy_saw(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::dtw(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dtw)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = noisy_saw(n, 1), b = noisy_saw(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::dtw(a, b, 0.1));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Range(64, 1024);
+
+void BM_Euclidean(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = noisy_saw(n, 1), b = noisy_saw(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::euclidean(a, b));
+  }
+}
+BENCHMARK(BM_Euclidean)->Range(64, 1024);
+
+void BM_Frechet(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = noisy_saw(n, 1), b = noisy_saw(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::frechet(a, b));
+  }
+}
+BENCHMARK(BM_Frechet)->Range(64, 512);
+
+void BM_EvalHandler(benchmark::State& state) {
+  const auto& h = *dsl::known_handlers("vegas").fine_tuned;
+  cca::Signals sig;
+  sig.mss = 1448;
+  sig.cwnd = 50 * 1448;
+  sig.acked_bytes = 1448;
+  sig.rtt = 0.06;
+  sig.min_rtt = 0.05;
+  sig.max_rtt = 0.08;
+  sig.ack_rate = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsl::eval(h, sig));
+  }
+}
+BENCHMARK(BM_EvalHandler);
+
+void BM_Replay(benchmark::State& state) {
+  trace::Environment env;
+  env.duration_s = 10.0;
+  auto t = net::run_connection("reno", env);
+  auto segs = trace::segment_all({t}, 20);
+  const auto& h = *dsl::known_handlers("reno").fine_tuned;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::replay(h, segs.front()));
+  }
+  state.counters["acks"] = static_cast<double>(segs.front().samples.size());
+}
+BENCHMARK(BM_Replay);
+
+void BM_SegmentDistance(benchmark::State& state) {
+  trace::Environment env;
+  env.duration_s = 10.0;
+  auto t = net::run_connection("reno", env);
+  auto segs = trace::segment_all({t}, 20);
+  const auto& h = *dsl::known_handlers("reno").fine_tuned;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth::segment_distance(h, segs.front(), distance::Metric::kDtw));
+  }
+}
+BENCHMARK(BM_SegmentDistance);
+
+void BM_Simulator(benchmark::State& state) {
+  trace::Environment env;
+  env.duration_s = 5.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    env.seed = seed++;
+    auto t = net::run_connection("reno", env);
+    benchmark::DoNotOptimize(t.samples.size());
+    state.counters["acks/s"] = benchmark::Counter(static_cast<double>(t.samples.size()),
+                                                  benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_Simulator)->Unit(benchmark::kMillisecond);
+
+void BM_UnitCheck(benchmark::State& state) {
+  auto sketch = dsl::to_sketch(dsl::known_handlers("vegas").fine_tuned);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsl::unit_check(*sketch));
+  }
+}
+BENCHMARK(BM_UnitCheck);
+
+// Enumeration throughput: whole-space vs a single bucket (the §4.4 argument
+// for bucketized solvers).
+void BM_EnumerateWholeSpace(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::EnumeratorOptions o;
+    o.max_depth = 3;
+    o.max_nodes = 5;
+    o.max_holes = 2;
+    auto v = synth::enumerate_all(dsl::reno_dsl(), o, 64);
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EnumerateWholeSpace)->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateOneBucket(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::EnumeratorOptions o;
+    o.max_depth = 3;
+    o.max_nodes = 5;
+    o.max_holes = 2;
+    o.bucket = std::vector<dsl::Op>{dsl::Op::kAdd, dsl::Op::kMul};
+    auto v = synth::enumerate_all(dsl::reno_dsl(), o, 64);
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EnumerateOneBucket)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

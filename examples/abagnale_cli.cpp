@@ -1,0 +1,159 @@
+// Command-line front end for the whole library — the tool a measurement
+// study would actually drive. Traces move through CSV files, so collection
+// and synthesis can run on different machines (or synthesis can consume
+// externally converted pcaps in the same format).
+//
+//   abagnale_cli list
+//   abagnale_cli collect <cca> <out.csv> [bw_mbps rtt_ms dur_s loss xt_mbps]
+//   abagnale_cli classify <trace.csv>...
+//   abagnale_cli synthesize [--dsl <name>] [--timeout <s>] <trace.csv>...
+//   abagnale_cli match <cca> <trace.csv>...   (score a known CCA's handler)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "classify/classifier.hpp"
+#include "core/abagnale.hpp"
+#include "dsl/known_handlers.hpp"
+#include "net/simulator.hpp"
+#include "synth/replay.hpp"
+#include "trace/trace_io.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace abg;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  abagnale_cli list\n"
+               "  abagnale_cli collect <cca> <out.csv> [bw_mbps rtt_ms dur_s loss xt_mbps]\n"
+               "  abagnale_cli classify <trace.csv>...\n"
+               "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] <trace.csv>...\n"
+               "  abagnale_cli match <cca> <trace.csv>...\n");
+  return 2;
+}
+
+std::vector<trace::Trace> load_all(int argc, char** argv, int first) {
+  std::vector<trace::Trace> traces;
+  for (int i = first; i < argc; ++i) {
+    auto t = trace::load_csv(argv[i]);
+    if (!t) {
+      std::fprintf(stderr, "failed to load %s\n", argv[i]);
+      continue;
+    }
+    std::printf("loaded %s: cca=%s, %zu samples\n", argv[i], t->cca_name.c_str(),
+                t->samples.size());
+    traces.push_back(std::move(*t));
+  }
+  return traces;
+}
+
+int cmd_list() {
+  std::printf("CCAs:");
+  for (const auto& n : cca::all_cca_names()) std::printf(" %s", n.c_str());
+  std::printf("\nDSLs:");
+  for (const auto& n : dsl::curated_dsl_names()) std::printf(" %s", n.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_collect(int argc, char** argv) {
+  if (argc < 4) return usage();
+  trace::Environment env;
+  env.bandwidth_bps = (argc > 4 ? std::atof(argv[4]) : 10.0) * 1e6;
+  env.rtt_s = (argc > 5 ? std::atof(argv[5]) : 50.0) / 1e3;
+  env.duration_s = argc > 6 ? std::atof(argv[6]) : 30.0;
+  env.random_loss = argc > 7 ? std::atof(argv[7]) : 0.0;
+  env.cross_traffic_bps = (argc > 8 ? std::atof(argv[8]) : 0.0) * 1e6;
+  auto t = net::run_connection(argv[2], env);
+  if (!trace::save_csv(t, argv[3])) {
+    std::fprintf(stderr, "write failed: %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("wrote %s (%zu samples)\n", argv[3], t.samples.size());
+  return 0;
+}
+
+int cmd_classify(int argc, char** argv) {
+  auto traces = load_all(argc, argv, 2);
+  if (traces.empty()) return 1;
+  classify::Classifier classifier{classify::ClassifierOptions{}};
+  auto result = classifier.classify(traces);
+  std::printf("label: %s\n", result.label.c_str());
+  std::printf("closest:");
+  for (std::size_t i = 0; i < result.closest.size() && i < 3; ++i) {
+    std::printf(" %s", result.closest[i].c_str());
+  }
+  std::printf("\nsuggested DSL: %s\n", core::dsl_for_classification(result).c_str());
+  return 0;
+}
+
+int cmd_synthesize(int argc, char** argv) {
+  core::PipelineOptions opts;
+  opts.synth.initial_samples = 8;
+  opts.synth.concretize_budget = 24;
+  opts.synth.max_depth = 4;
+  opts.synth.max_nodes = 9;
+  opts.synth.max_holes = 3;
+  opts.synth.dopts.max_points = 128;
+  opts.synth.timeout_s = 120.0;
+  int first = 2;
+  while (first + 1 < argc && argv[first][0] == '-') {
+    if (std::strcmp(argv[first], "--dsl") == 0) {
+      opts.dsl_override = argv[first + 1];
+    } else if (std::strcmp(argv[first], "--timeout") == 0) {
+      opts.synth.timeout_s = std::atof(argv[first + 1]);
+    } else {
+      return usage();
+    }
+    first += 2;
+  }
+  auto traces = load_all(argc, argv, first);
+  if (traces.empty()) return 1;
+  util::set_log_level(util::LogLevel::kInfo);
+  core::Abagnale pipeline(opts);
+  auto result = pipeline.run(traces);
+  if (!result.found()) {
+    std::printf("no handler found\n");
+    return 1;
+  }
+  std::printf("\nDSL: %s\nhandler: %s\ndistance: %.3f over %zu segments\n",
+              result.dsl_name.c_str(), result.handler_string().c_str(), result.distance(),
+              result.segments_total);
+  return 0;
+}
+
+int cmd_match(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto& known = dsl::known_handlers(argv[2]);
+  if (!known.fine_tuned) {
+    std::fprintf(stderr, "no fine-tuned handler for %s\n", argv[2]);
+    return 1;
+  }
+  auto traces = load_all(argc, argv, 3);
+  if (traces.empty()) return 1;
+  std::vector<trace::Trace> steady;
+  for (const auto& t : traces) steady.push_back(trace::trim_warmup(t, 2.0));
+  auto segs = trace::segment_all(steady, 20);
+  const double d =
+      synth::total_distance(*known.fine_tuned, segs, distance::Metric::kDtw);
+  std::printf("handler: %s\nDTW distance over %zu segments: %.3f\n",
+              dsl::to_string(*known.fine_tuned).c_str(), segs.size(), d);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "collect") return cmd_collect(argc, argv);
+  if (cmd == "classify") return cmd_classify(argc, argv);
+  if (cmd == "synthesize") return cmd_synthesize(argc, argv);
+  if (cmd == "match") return cmd_match(argc, argv);
+  return usage();
+}

@@ -1,0 +1,64 @@
+// Why reverse-engineer a CCA at all? §2.1's answer: to understand its impact
+// on fairness before it is everywhere. This example closes that loop:
+//
+//   1. Take a handler expression (a synthesized one from the pipeline, or
+//      any expression on the command line in to_string() syntax).
+//   2. Wrap it in core::HandlerCca so it runs as a real congestion
+//      controller.
+//   3. Duel it against TCP Reno on one bottleneck and report throughput
+//      shares and Jain's fairness index.
+//
+// Build & run:
+//   ./build/examples/fairness_analysis                        # BBR's handler
+//   ./build/examples/fairness_analysis 'cwnd + 3 * reno-inc'  # your own
+#include <cstdio>
+
+#include "core/handler_cca.hpp"
+#include "dsl/known_handlers.hpp"
+#include "dsl/parse.hpp"
+#include "net/duel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abg;
+  setvbuf(stdout, nullptr, _IONBF, 0);
+
+  dsl::ExprPtr handler;
+  std::string label;
+  if (argc > 1) {
+    auto parsed = dsl::parse(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    handler = parsed.expr;
+    label = argv[1];
+  } else {
+    handler = dsl::known_handlers("bbr").fine_tuned;
+    label = "BBR fine-tuned: " + dsl::to_string(*handler);
+  }
+  std::printf("handler under test: %s\n\n", label.c_str());
+
+  std::printf("%-26s | %9s | %9s | %7s | %5s\n", "bottleneck", "reno Mb/s", "test Mb/s",
+              "share", "Jain");
+  for (double rtt_ms : {20.0, 60.0}) {
+    for (double bw_mbps : {8.0, 14.0}) {
+      trace::Environment env;
+      env.bandwidth_bps = bw_mbps * 1e6;
+      env.rtt_s = rtt_ms / 1e3;
+      env.duration_s = 25.0;
+      env.seed = 5;
+      auto reno = cca::make_cca("reno");
+      core::HandlerCca test(handler, nullptr, "under-test");
+      auto duel = net::run_two_flows(*reno, test, env, /*stagger_s=*/2.0);
+      char link[64];
+      std::snprintf(link, sizeof(link), "%.0f Mb/s, %.0f ms RTT", bw_mbps, rtt_ms);
+      std::printf("%-26s | %9.2f | %9.2f | %6.0f%% | %5.2f\n", link,
+                  duel.throughput_a_bps / 1e6, duel.throughput_b_bps / 1e6,
+                  100.0 * (1.0 - duel.share_a()), duel.jain_index());
+    }
+  }
+  std::printf("\n'share' is the tested handler's fraction of combined goodput; Jain's index\n"
+              "1.0 = perfectly fair. Try a Reno-variant ('cwnd + reno-inc') for a fair\n"
+              "baseline, then something aggressive ('cwnd + 10 * reno-inc').\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Regenerates test_output.txt and bench_output.txt (the recorded runs).
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then "$b"; fi
+done 2>&1 | tee /root/repo/bench_output.txt
+echo "ALL-RUNS-COMPLETE"

@@ -1,0 +1,92 @@
+#include "cca/bbr.hpp"
+
+#include <algorithm>
+
+namespace abg::cca {
+
+constexpr double Bbr::kCycleGains[];
+
+void Bbr::init(double mss, double initial_cwnd) {
+  mss_ = mss;
+  cwnd_ = initial_cwnd;
+  state_ = State::kStartup;
+  bw_samples_.clear();
+  full_bw_ = 0.0;
+  full_bw_count_ = 0;
+  cycle_index_ = 0;
+  cycle_stamp_ = -1.0;
+}
+
+void Bbr::update_bw_filter(const Signals& sig) {
+  if (sig.ack_rate <= 0) return;
+  bw_samples_.emplace_back(sig.now, sig.ack_rate);
+  const double window = 10.0 * std::max(sig.srtt, 1e-3);
+  while (!bw_samples_.empty() && bw_samples_.front().first < sig.now - window) {
+    bw_samples_.pop_front();
+  }
+}
+
+double Bbr::max_bw() const {
+  double bw = 0.0;
+  for (const auto& [t, sample] : bw_samples_) bw = std::max(bw, sample);
+  return bw;
+}
+
+double Bbr::on_ack(const Signals& sig) {
+  update_bw_filter(sig);
+  const double bw = max_bw();
+  const double bdp = bw * sig.min_rtt;
+
+  switch (state_) {
+    case State::kStartup: {
+      // Exponential growth until the bandwidth estimate plateaus (three
+      // consecutive rounds with < 25% growth).
+      cwnd_ += kStartupGain * sig.acked_bytes / 2.0;
+      if (bw > full_bw_ * 1.25) {
+        full_bw_ = bw;
+        full_bw_count_ = 0;
+      } else if (bw > 0) {
+        if (++full_bw_count_ >= 3) state_ = State::kDrain;
+      }
+      break;
+    }
+    case State::kDrain: {
+      // Drain the queue built during STARTUP, then settle into PROBE_BW.
+      if (bdp > 0) cwnd_ = std::max(kDrainGain * cwnd_, kCwndGain * bdp * 0.9);
+      if (sig.inflight <= bdp || bdp <= 0) {
+        state_ = State::kProbeBw;
+        cycle_stamp_ = sig.now;
+        cycle_index_ = 0;
+      }
+      break;
+    }
+    case State::kProbeBw: {
+      // Advance the gain cycle once per min_rtt.
+      const double phase_len = std::max(sig.min_rtt, 1e-3);
+      if (cycle_stamp_ < 0) cycle_stamp_ = sig.now;
+      while (sig.now - cycle_stamp_ > phase_len) {
+        cycle_stamp_ += phase_len;
+        cycle_index_ = (cycle_index_ + 1) % kCycleLen;
+      }
+      if (bdp > 0) {
+        cwnd_ = kCwndGain * bdp * kCycleGains[cycle_index_];
+      } else {
+        cwnd_ += sig.acked_bytes;  // no model yet; keep growing
+      }
+      break;
+    }
+  }
+  cwnd_ = std::max(cwnd_, 4.0 * mss_);
+  return cwnd_;
+}
+
+double Bbr::on_loss(const Signals& sig) {
+  // BBRv1 is famously loss-agnostic: it only enforces a conservative floor
+  // and otherwise keeps following its model.
+  const double bdp = max_bw() * sig.min_rtt;
+  if (bdp > 0) cwnd_ = std::max(cwnd_ * 0.85, bdp);
+  cwnd_ = std::max(cwnd_, 4.0 * mss_);
+  return cwnd_;
+}
+
+}  // namespace abg::cca

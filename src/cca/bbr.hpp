@@ -1,0 +1,51 @@
+// BBRv1 (Cardwell 2016): model-based control. Maintains windowed-max
+// bandwidth and windowed-min RTT estimates and sets
+//     cwnd = cwnd_gain * bw_est * min_rtt
+// while cycling pacing gains in PROBE_BW to probe for extra bandwidth. The
+// gain-cycle pulses are the hidden state variable the paper's case study
+// (§5.2) centers on: Abagnale cannot model the cycle index, yet synthesizes
+// a closed-form pulse via a modulo condition.
+#pragma once
+
+#include <deque>
+
+#include "cca/cca.hpp"
+
+namespace abg::cca {
+
+class Bbr final : public CcaInterface {
+ public:
+  std::string name() const override { return "bbr"; }
+  void init(double mss, double initial_cwnd) override;
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+  bool in_slow_start() const override { return state_ == State::kStartup; }
+
+ private:
+  enum class State { kStartup, kDrain, kProbeBw };
+
+  void update_bw_filter(const Signals& sig);
+  double max_bw() const;
+
+  static constexpr double kStartupGain = 2.885;  // 2/ln(2)
+  static constexpr double kDrainGain = 1.0 / 2.885;
+  static constexpr double kCwndGain = 2.0;
+  static constexpr int kCycleLen = 8;
+  // PROBE_BW pacing-gain cycle: one probing phase, one draining phase, six
+  // cruise phases.
+  static constexpr double kCycleGains[kCycleLen] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+
+  double mss_ = 1448.0;
+  double cwnd_ = 10 * 1448.0;
+  State state_ = State::kStartup;
+
+  // Windowed max-bandwidth filter: (time, sample) pairs within ~10 RTTs.
+  std::deque<std::pair<double, double>> bw_samples_;
+  double full_bw_ = 0.0;  // plateau detection for STARTUP exit
+  int full_bw_count_ = 0;
+
+  int cycle_index_ = 0;
+  double cycle_stamp_ = -1.0;
+};
+
+}  // namespace abg::cca

@@ -1,0 +1,80 @@
+#include "cca/cca.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "cca/bbr.hpp"
+#include "cca/cubic_family.hpp"
+#include "cca/delay_family.hpp"
+#include "cca/reno_family.hpp"
+#include "cca/student.hpp"
+
+namespace abg::cca {
+
+namespace {
+
+using Factory = std::function<CcaPtr()>;
+
+const std::vector<std::pair<std::string, Factory>>& registry() {
+  static const std::vector<std::pair<std::string, Factory>> kRegistry = {
+      {"reno", [] { return CcaPtr(std::make_unique<Reno>()); }},
+      {"cubic", [] { return CcaPtr(std::make_unique<Cubic>()); }},
+      {"bbr", [] { return CcaPtr(std::make_unique<Bbr>()); }},
+      {"vegas", [] { return CcaPtr(std::make_unique<Vegas>()); }},
+      {"bic", [] { return CcaPtr(std::make_unique<Bic>()); }},
+      {"cdg", [] { return CcaPtr(std::make_unique<Cdg>()); }},
+      {"highspeed", [] { return CcaPtr(std::make_unique<HighSpeed>()); }},
+      {"htcp", [] { return CcaPtr(std::make_unique<Htcp>()); }},
+      {"hybla", [] { return CcaPtr(std::make_unique<Hybla>()); }},
+      {"illinois", [] { return CcaPtr(std::make_unique<Illinois>()); }},
+      {"lp", [] { return CcaPtr(std::make_unique<LowPriority>()); }},
+      {"nv", [] { return CcaPtr(std::make_unique<NewVegas>()); }},
+      {"scalable", [] { return CcaPtr(std::make_unique<Scalable>()); }},
+      {"veno", [] { return CcaPtr(std::make_unique<Veno>()); }},
+      {"westwood", [] { return CcaPtr(std::make_unique<Westwood>()); }},
+      {"yeah", [] { return CcaPtr(std::make_unique<Yeah>()); }},
+      {"student1", [] { return CcaPtr(std::make_unique<Student1>()); }},
+      {"student2", [] { return CcaPtr(std::make_unique<Student2>()); }},
+      {"student3", [] { return CcaPtr(std::make_unique<Student3>()); }},
+      {"student4", [] { return CcaPtr(std::make_unique<Student4>()); }},
+      {"student5", [] { return CcaPtr(std::make_unique<Student5>()); }},
+      {"student6", [] { return CcaPtr(std::make_unique<Student6>()); }},
+      {"student7", [] { return CcaPtr(std::make_unique<Student7>()); }},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+CcaPtr make_cca(const std::string& name) {
+  for (const auto& [key, factory] : registry()) {
+    if (key == name) return factory();
+  }
+  throw std::invalid_argument("unknown CCA: " + name);
+}
+
+std::vector<std::string> all_cca_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [key, factory] : registry()) names.push_back(key);
+  return names;
+}
+
+std::vector<std::string> kernel_cca_names() {
+  std::vector<std::string> names;
+  for (const auto& [key, factory] : registry()) {
+    if (key.rfind("student", 0) != 0) names.push_back(key);
+  }
+  return names;
+}
+
+std::vector<std::string> student_cca_names() {
+  std::vector<std::string> names;
+  for (const auto& [key, factory] : registry()) {
+    if (key.rfind("student", 0) == 0) names.push_back(key);
+  }
+  return names;
+}
+
+}  // namespace abg::cca

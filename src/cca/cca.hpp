@@ -1,0 +1,53 @@
+// The congestion-control algorithm interface that ground-truth senders
+// implement. The simulator owns signal measurement (signals.hpp); a CCA maps
+// (signals, private state) -> new congestion window. This is the same
+// event-driven model the paper adopts (§3, "Model"): handlers react to ACK
+// arrivals and loss determinations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cca/signals.hpp"
+
+namespace abg::cca {
+
+class CcaInterface {
+ public:
+  virtual ~CcaInterface() = default;
+
+  // Stable identifier, e.g. "reno", "cubic", "student1".
+  virtual std::string name() const = 0;
+
+  // Called once before the connection starts.
+  virtual void init(double mss, double initial_cwnd) {
+    (void)mss;
+    (void)initial_cwnd;
+  }
+
+  // ACK arrival; returns the new congestion window in bytes.
+  virtual double on_ack(const Signals& sig) = 0;
+
+  // Loss determination (triple-dup-ACK fast retransmit or RTO); returns the
+  // new congestion window in bytes.
+  virtual double on_loss(const Signals& sig) = 0;
+
+  // Whether the algorithm is currently in its slow-start phase (used only
+  // for reporting; the window logic itself lives in on_ack).
+  virtual bool in_slow_start() const { return false; }
+};
+
+using CcaPtr = std::unique_ptr<CcaInterface>;
+
+// Factory registry: create a CCA by its stable name. Throws
+// std::invalid_argument for unknown names.
+CcaPtr make_cca(const std::string& name);
+
+// Every CCA name the registry knows, in a stable order. Kernel CCAs first,
+// then the seven synthetic "student" CCAs.
+std::vector<std::string> all_cca_names();
+std::vector<std::string> kernel_cca_names();
+std::vector<std::string> student_cca_names();
+
+}  // namespace abg::cca

@@ -1,0 +1,109 @@
+#include "cca/cubic_family.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abg::cca {
+
+// ----------------------------------------------------------------- BIC ----
+
+double Bic::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  const double smax = kSmaxPkts * mss_;
+  const double smin = kSminPkts * mss_;
+  double inc;  // target increment per RTT, bytes
+  if (w_max_ <= 0 || cwnd_ >= w_max_) {
+    // Max probing: start slow, then ramp up linearly away from w_max.
+    const double dist = w_max_ > 0 ? cwnd_ - w_max_ : cwnd_;
+    inc = std::clamp(dist / 8.0, smin, smax);
+  } else {
+    // Binary search toward the midpoint between cwnd and w_max.
+    const double midpoint = (cwnd_ + w_max_) / 2.0;
+    inc = std::clamp(midpoint - cwnd_, smin, smax);
+  }
+  cwnd_ += inc * sig.acked_bytes / std::max(cwnd_, mss_);
+  return cwnd_;
+}
+
+double Bic::on_loss(const Signals&) {
+  // Fast convergence: a flow that lost before reaching its previous maximum
+  // adopts a reduced maximum so competing flows converge.
+  w_max_ = cwnd_ < w_max_ ? cwnd_ * (2.0 - kBeta) / 2.0 : cwnd_;
+  ssthresh_ = std::max(cwnd_ * (1.0 - kBeta), 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// --------------------------------------------------------------- CUBIC ----
+
+void Cubic::init(double mss, double initial_cwnd) {
+  LossBasedCca::init(mss, initial_cwnd);
+  w_max_pkts_ = 0.0;
+  k_ = 0.0;
+  epoch_start_ = -1.0;
+  tcp_cwnd_pkts_ = 0.0;
+}
+
+double Cubic::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  if (epoch_start_ < 0) {
+    // First congestion-avoidance ACK of this epoch.
+    epoch_start_ = sig.now;
+    if (w_max_pkts_ <= 0) w_max_pkts_ = cwnd_ / mss_;
+    const double w_pkts = cwnd_ / mss_;
+    k_ = w_max_pkts_ > w_pkts ? std::cbrt((w_max_pkts_ - w_pkts) / kC) : 0.0;
+    tcp_cwnd_pkts_ = w_pkts;
+  }
+  const double t = sig.now - epoch_start_;
+  // Cubic target one RTT in the future.
+  const double target_pkts =
+      kC * std::pow(t + sig.srtt - k_, 3.0) + w_max_pkts_;
+  const double w_pkts = cwnd_ / mss_;
+  double inc_pkts;  // growth over the next RTT, packets
+  if (target_pkts > w_pkts) {
+    inc_pkts = std::min(target_pkts - w_pkts, w_pkts / 2.0);
+  } else {
+    inc_pkts = 0.01;  // minimal probing in the concave plateau
+  }
+  // TCP-friendly region: estimate what standard TCP would reach and never
+  // grow slower than it.
+  tcp_cwnd_pkts_ += 3.0 * kBeta / (2.0 - kBeta) * sig.acked_bytes / std::max(cwnd_, mss_);
+  if (tcp_cwnd_pkts_ > w_pkts + inc_pkts) inc_pkts = tcp_cwnd_pkts_ - w_pkts;
+  cwnd_ += inc_pkts * mss_ * sig.acked_bytes / std::max(cwnd_, mss_);
+  return cwnd_;
+}
+
+double Cubic::on_loss(const Signals&) {
+  const double w_pkts = cwnd_ / mss_;
+  // Fast convergence.
+  w_max_pkts_ = w_pkts < w_max_pkts_ ? w_pkts * (2.0 - kBeta) / 2.0 : w_pkts;
+  ssthresh_ = std::max(cwnd_ * (1.0 - kBeta), 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  epoch_start_ = -1.0;
+  return clamp_cwnd();
+}
+
+// --------------------------------------------------------------- H-TCP ----
+
+double Htcp::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  const double delta = sig.time_since_loss;
+  // Low-speed regime for the first second after a loss, then the quadratic.
+  double alpha = 1.0;
+  if (delta > 1.0) {
+    alpha = 1.0 + 10.0 * (delta - 1.0) + 0.25 * (delta - 1.0) * (delta - 1.0);
+  }
+  cwnd_ += alpha * reno_increment(sig);
+  return cwnd_;
+}
+
+double Htcp::on_loss(const Signals& sig) {
+  // Adaptive backoff: beta = min_rtt / max_rtt, clamped to [0.5, 0.8].
+  double beta = 0.5;
+  if (sig.max_rtt > 0) beta = std::clamp(sig.min_rtt / sig.max_rtt, 0.5, 0.8);
+  ssthresh_ = std::max(cwnd_ * beta, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+}  // namespace abg::cca

@@ -1,0 +1,56 @@
+// Window-curve CCAs: BIC's binary search, Cubic's cubic recovery curve, and
+// H-TCP's time-since-loss polynomial. All three key their growth off the
+// window at the time of the last loss and/or the time elapsed since it.
+#pragma once
+
+#include "cca/loss_based.hpp"
+
+namespace abg::cca {
+
+// BIC (Xu 2004): binary search between the post-loss window and the window
+// held before the loss, followed by slow linear probing ("max probing") once
+// the old maximum is exceeded. The deep conditional structure is exactly
+// what makes BIC too deep for the synthesizer (paper §5.5).
+class Bic final : public LossBasedCca {
+ public:
+  std::string name() const override { return "bic"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  static constexpr double kSmaxPkts = 16.0;  // max increment per RTT, packets
+  static constexpr double kSminPkts = 0.01;
+  static constexpr double kBeta = 0.2;
+  double w_max_ = 0.0;  // window before the last loss (bytes)
+};
+
+// CUBIC (Ha 2008): after a loss at window w_max, the window follows
+//   W(t) = C * (t - K)^3 + w_max    (packets; t = time since loss)
+// with K = cbrt(w_max * beta / C). Includes the TCP-friendly region.
+class Cubic final : public LossBasedCca {
+ public:
+  std::string name() const override { return "cubic"; }
+  void init(double mss, double initial_cwnd) override;
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.3;  // multiplicative decrease amount
+  double w_max_pkts_ = 0.0;
+  double k_ = 0.0;            // time to return to w_max, seconds
+  double epoch_start_ = -1.0; // time of last loss
+  double tcp_cwnd_pkts_ = 0.0;
+};
+
+// H-TCP (Leith & Shorten 2004): increase coefficient grows quadratically
+// with the time since the last loss once past a 1-second threshold; the
+// decrease factor adapts to the RTT spread.
+class Htcp final : public LossBasedCca {
+ public:
+  std::string name() const override { return "htcp"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+}  // namespace abg::cca

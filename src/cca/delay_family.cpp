@@ -1,0 +1,182 @@
+#include "cca/delay_family.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abg::cca {
+
+double vegas_queue_estimate(const Signals& sig) {
+  if (sig.min_rtt <= 0 || sig.rtt <= 0) return 0.0;
+  // expected = cwnd / min_rtt, actual = cwnd / rtt; diff scaled to packets:
+  // (expected - actual) * min_rtt / mss == cwnd * (rtt - min_rtt) / (rtt * mss).
+  return sig.cwnd * (sig.rtt - sig.min_rtt) / (sig.rtt * sig.mss);
+}
+
+// --------------------------------------------------------------- Vegas ----
+
+double Vegas::on_ack(const Signals& sig) {
+  if (sig.min_rtt <= 0) return cwnd_;
+  if (in_slow_start()) {
+    // Vegas exits slow start early once the queue builds.
+    if (vegas_queue_estimate(sig) > beta_) {
+      ssthresh_ = cwnd_;
+    } else {
+      slow_start_step(sig);
+      return cwnd_;
+    }
+  }
+  const double diff = vegas_queue_estimate(sig);
+  if (diff < alpha_) {
+    cwnd_ += reno_increment(sig);
+  } else if (diff > beta_) {
+    cwnd_ -= reno_increment(sig);
+  }
+  return clamp_cwnd();
+}
+
+double Vegas::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ---------------------------------------------------------------- Veno ----
+
+double Veno::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  const double diff = vegas_queue_estimate(sig);
+  // Full Reno speed while the queue is short, half speed when congested.
+  cwnd_ += (diff < 3.0 ? 1.0 : 0.5) * reno_increment(sig);
+  return cwnd_;
+}
+
+double Veno::on_loss(const Signals& sig) {
+  const double diff = vegas_queue_estimate(sig);
+  // Random (non-congestive) losses get the gentler 0.8 multiplier.
+  const double factor = diff < 3.0 ? 0.8 : 0.5;
+  ssthresh_ = std::max(cwnd_ * factor, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ------------------------------------------------------------ NewVegas ----
+
+double NewVegas::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  if (sig.min_rtt <= 0) return cwnd_;
+  // Rate-based queue estimate: bytes in flight beyond the BDP, in packets.
+  const double queued = (sig.rtt - sig.min_rtt) * sig.ack_rate / sig.mss;
+  // Accumulate the per-ACK decision but apply it once per RTT (NV's hidden
+  // update cadence).
+  if (queued < 2.0) {
+    pending_delta_ += reno_increment(sig);
+  } else if (queued > 4.0) {
+    pending_delta_ -= reno_increment(sig);
+  }
+  if (last_update_time_ < 0 || sig.now - last_update_time_ >= sig.srtt) {
+    cwnd_ += pending_delta_;
+    pending_delta_ = 0.0;
+    last_update_time_ = sig.now;
+  }
+  return clamp_cwnd();
+}
+
+double NewVegas::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  pending_delta_ = 0.0;
+  return clamp_cwnd();
+}
+
+// ---------------------------------------------------------------- YeAH ----
+
+double Yeah::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  const double queued = vegas_queue_estimate(sig);
+  if (queued < kQMax) {
+    // "Fast" mode: Scalable-style growth.
+    cwnd_ += 0.01 * sig.acked_bytes;
+  } else {
+    // "Slow" mode: Reno growth plus precautionary decongestion — drain the
+    // estimated excess queue over one RTT.
+    cwnd_ += reno_increment(sig);
+    cwnd_ -= queued * mss_ * sig.acked_bytes / std::max(cwnd_, mss_);
+  }
+  return clamp_cwnd();
+}
+
+double Yeah::on_loss(const Signals& sig) {
+  const double queued = vegas_queue_estimate(sig);
+  // Congestive loss: drop below the estimated queue. Otherwise mild backoff.
+  const double factor = queued > kQMax ? 0.6 : 0.7;
+  ssthresh_ = std::max(cwnd_ * factor, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ------------------------------------------------------------ Illinois ----
+
+double Illinois::alpha_of_delay(const Signals& sig) const {
+  constexpr double kAlphaMax = 10.0, kAlphaMin = 0.3;
+  const double dm = sig.max_rtt - sig.min_rtt;
+  if (dm <= 0) return kAlphaMax;
+  const double da = std::max(sig.srtt - sig.min_rtt, 0.0);
+  const double d1 = 0.01 * dm;  // below d1 queueing delay: max aggressiveness
+  if (da <= d1) return kAlphaMax;
+  // Hyperbolic interpolation between (d1, alpha_max) and (dm, alpha_min).
+  const double k1 = (dm - d1) * kAlphaMin * kAlphaMax / (kAlphaMax - kAlphaMin);
+  const double k2 = (dm - d1) * kAlphaMin / (kAlphaMax - kAlphaMin) - d1;
+  return std::clamp(k1 / (k2 + da), kAlphaMin, kAlphaMax);
+}
+
+double Illinois::beta_of_delay(const Signals& sig) const {
+  constexpr double kBetaMin = 0.125, kBetaMax = 0.5;
+  const double dm = sig.max_rtt - sig.min_rtt;
+  if (dm <= 0) return kBetaMin;
+  const double da = std::max(sig.srtt - sig.min_rtt, 0.0);
+  const double d2 = 0.1 * dm, d3 = 0.8 * dm;
+  if (da <= d2) return kBetaMin;
+  if (da >= d3) return kBetaMax;
+  return kBetaMin + (kBetaMax - kBetaMin) * (da - d2) / (d3 - d2);
+}
+
+double Illinois::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  cwnd_ += alpha_of_delay(sig) * reno_increment(sig);
+  return cwnd_;
+}
+
+double Illinois::on_loss(const Signals& sig) {
+  ssthresh_ = std::max(cwnd_ * (1.0 - beta_of_delay(sig)), 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ----------------------------------------------------------------- CDG ----
+
+double Cdg::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  // Positive smoothed delay gradient => congestion building; back off with
+  // probability 1 - exp(-g / G), at most once per RTT.
+  const double g = sig.rtt_gradient * 1000.0;  // scale to ms/s for kG
+  const bool cooled_down = last_backoff_time_ < 0 || sig.now - last_backoff_time_ > sig.srtt;
+  if (g > 0 && cooled_down) {
+    const double p_backoff = 1.0 - std::exp(-g / kG);
+    if (rng_.chance(p_backoff)) {
+      last_backoff_time_ = sig.now;
+      ssthresh_ = std::max(cwnd_ * 0.7, 2.0 * mss_);
+      cwnd_ = ssthresh_;
+      return clamp_cwnd();
+    }
+  }
+  cwnd_ += reno_increment(sig);
+  return cwnd_;
+}
+
+double Cdg::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+}  // namespace abg::cca

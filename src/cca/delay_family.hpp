@@ -1,0 +1,99 @@
+// The Vegas family: CCAs whose window evolution branches on a delay-derived
+// estimate of the number of packets queued at the bottleneck (paper §5.4).
+// All of them compute some flavour of
+//     queued = (rtt - min_rtt) * rate / mss
+// and compare it against thresholds.
+#pragma once
+
+#include "cca/loss_based.hpp"
+#include "util/rng.hpp"
+
+namespace abg::cca {
+
+// Estimated packets sitting in the bottleneck queue, the Vegas "diff":
+// expected rate minus actual rate, scaled to packets.
+double vegas_queue_estimate(const Signals& sig);
+
+// TCP Vegas (Brakmo 1994): additive increase when the queue estimate is
+// below alpha, additive decrease above beta, hold in between.
+class Vegas final : public LossBasedCca {
+ public:
+  explicit Vegas(double alpha = 2.0, double beta = 4.0) : alpha_(alpha), beta_(beta) {}
+  std::string name() const override { return "vegas"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  double alpha_, beta_;
+};
+
+// TCP Veno (Fu & Liew 2003): Reno increase at full speed while the queue is
+// short, half speed when the network looks congested; loss response depends
+// on whether the loss looks random (short queue) or congestive.
+class Veno final : public LossBasedCca {
+ public:
+  std::string name() const override { return "veno"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// TCP-NV ("New Vegas", Brakmo 2010): same fundamental logic as Vegas with a
+// rate-based queue measurement (delivery rate instead of cwnd/rtt) and a
+// once-per-RTT update cadence — the hidden state the paper notes Abagnale
+// need not model (§5.4).
+class NewVegas final : public LossBasedCca {
+ public:
+  std::string name() const override { return "nv"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  double last_update_time_ = -1.0;
+  double pending_delta_ = 0.0;
+};
+
+// YeAH-TCP (Baiocchi 2007): Scalable-style fast mode while the queue is
+// short, Reno + precautionary decongestion once the estimated queue exceeds
+// its threshold.
+class Yeah final : public LossBasedCca {
+ public:
+  std::string name() const override { return "yeah"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  static constexpr double kQMax = 8.0;  // queue threshold, packets
+};
+
+// TCP Illinois (Liu 2008): loss-based AIMD whose increase coefficient alpha
+// shrinks (10 -> 0.3) and decrease factor beta grows (1/8 -> 1/2) as
+// queueing delay rises.
+class Illinois final : public LossBasedCca {
+ public:
+  std::string name() const override { return "illinois"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  double alpha_of_delay(const Signals& sig) const;
+  double beta_of_delay(const Signals& sig) const;
+};
+
+// CDG (Hayes & Armitage 2011): backs off with probability
+// 1 - exp(-gradient/G) when the delay gradient is positive. Deliberately
+// non-deterministic — the paper excludes it from synthesis (§5.5) but we
+// implement it as ground truth so the exclusion can be demonstrated.
+class Cdg final : public LossBasedCca {
+ public:
+  explicit Cdg(std::uint64_t seed = 42) : rng_(seed) {}
+  std::string name() const override { return "cdg"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  static constexpr double kG = 3.0;  // backoff scale factor
+  util::Rng rng_;
+  double last_backoff_time_ = -1.0;
+};
+
+}  // namespace abg::cca

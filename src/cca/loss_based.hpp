@@ -1,0 +1,47 @@
+// Shared machinery for loss-based CCAs: slow start with an ssthresh, and the
+// usual cwnd floor of 2*MSS. Window arithmetic is done in double-precision
+// bytes so that sub-MSS per-ACK increments (e.g. Reno's mss*acked/cwnd)
+// accumulate exactly like the kernel's fractional-window counters do.
+#pragma once
+
+#include <algorithm>
+
+#include "cca/cca.hpp"
+
+namespace abg::cca {
+
+class LossBasedCca : public CcaInterface {
+ public:
+  void init(double mss, double initial_cwnd) override {
+    mss_ = mss;
+    cwnd_ = initial_cwnd;
+    ssthresh_ = 1e18;  // effectively infinite until the first loss
+  }
+
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+
+ protected:
+  // Exponential growth: one MSS per MSS acked, until ssthresh.
+  // Returns true if the ACK was fully consumed by slow start.
+  bool slow_start_step(const Signals& sig) {
+    if (!in_slow_start()) return false;
+    cwnd_ = std::min(cwnd_ + sig.acked_bytes, ssthresh_);
+    return true;
+  }
+
+  double clamp_cwnd() {
+    cwnd_ = std::max(cwnd_, 2.0 * mss_);
+    return cwnd_;
+  }
+
+  // Classic Reno increase: grow one MSS per RTT, apportioned per ACK.
+  double reno_increment(const Signals& sig) const {
+    return mss_ * sig.acked_bytes / std::max(cwnd_, mss_);
+  }
+
+  double mss_ = 1448.0;
+  double cwnd_ = 10 * 1448.0;
+  double ssthresh_ = 1e18;
+};
+
+}  // namespace abg::cca

@@ -1,0 +1,149 @@
+#include "cca/reno_family.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abg::cca {
+
+// ---------------------------------------------------------------- Reno ----
+
+double Reno::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  cwnd_ += reno_increment(sig);
+  return cwnd_;
+}
+
+double Reno::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ------------------------------------------------------------ Westwood ----
+
+double Westwood::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  cwnd_ += reno_increment(sig);
+  return cwnd_;
+}
+
+double Westwood::on_loss(const Signals& sig) {
+  // Bandwidth-delay product from the measured delivery rate. Falls back to
+  // halving before any rate estimate exists.
+  const double bdp = sig.ack_rate * sig.min_rtt;
+  ssthresh_ = bdp > 0 ? std::max(bdp, 2.0 * mss_) : std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ------------------------------------------------------------ Scalable ----
+
+double Scalable::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  // One extra MSS per 100 MSS acked: multiplicative-increase flavour.
+  cwnd_ += 0.01 * sig.acked_bytes;
+  return cwnd_;
+}
+
+double Scalable::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ * 0.875, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// -------------------------------------------------------------- TCP-LP ----
+
+double LowPriority::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  // Early-congestion inference: queueing delay beyond 15% of the observed
+  // delay range means cross traffic is present; yield by halving, at most
+  // once per RTT.
+  const double range = sig.max_rtt - sig.min_rtt;
+  const double queueing = sig.rtt - sig.min_rtt;
+  const bool backoff_due = range > 0 && queueing > 0.15 * range;
+  const bool cooled_down = sig.now - last_backoff_time_ > sig.srtt;
+  if (backoff_due && cooled_down && !in_slow_start()) {
+    last_backoff_time_ = sig.now;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    cwnd_ = ssthresh_;
+    return clamp_cwnd();
+  }
+  cwnd_ += reno_increment(sig);
+  return cwnd_;
+}
+
+double LowPriority::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// --------------------------------------------------------------- Hybla ----
+
+double Hybla::on_ack(const Signals& sig) {
+  const double rtt = sig.srtt > 0 ? sig.srtt : kRtt0;
+  const double rho = std::max(rtt / kRtt0, 1.0);
+  if (in_slow_start()) {
+    // Grow by 2^rho - 1 segments per segment acked (clamped for stability).
+    const double gain = std::min(std::pow(2.0, rho) - 1.0, 32.0);
+    cwnd_ = std::min(cwnd_ + gain * sig.acked_bytes, ssthresh_);
+    return cwnd_;
+  }
+  cwnd_ += rho * rho * reno_increment(sig);
+  return cwnd_;
+}
+
+double Hybla::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+// ----------------------------------------------------------- HighSpeed ----
+
+namespace {
+// Condensed RFC 3649 response table: window (packets) -> (a, b).
+struct HsRow {
+  double w, a, b;
+};
+constexpr HsRow kHsTable[] = {
+    {38, 1, 0.50},     {118, 2, 0.44},    {221, 3, 0.41},    {347, 4, 0.38},
+    {495, 5, 0.37},    {663, 6, 0.35},    {851, 7, 0.34},    {1058, 8, 0.33},
+    {1284, 9, 0.32},   {1529, 10, 0.31},  {2185, 12, 0.30},  {2967, 14, 0.29},
+    {3875, 16, 0.28},  {5705, 20, 0.26},  {7953, 24, 0.25},  {10628, 28, 0.24},
+    {13748, 32, 0.23}, {21867, 40, 0.22}, {32531, 48, 0.21}, {44961, 56, 0.20},
+    {60464, 64, 0.19}, {83981, 76, 0.18}, {110415, 88, 0.17},
+};
+}  // namespace
+
+double HighSpeed::a_of_w(double w_pkts) const {
+  double a = 1.0;
+  for (const auto& row : kHsTable) {
+    if (w_pkts >= row.w) a = row.a;
+  }
+  return a;
+}
+
+double HighSpeed::b_of_w(double w_pkts) const {
+  double b = 0.5;
+  for (const auto& row : kHsTable) {
+    if (w_pkts >= row.w) b = row.b;
+  }
+  return b;
+}
+
+double HighSpeed::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  const double w_pkts = cwnd_ / mss_;
+  cwnd_ += a_of_w(w_pkts) * reno_increment(sig);
+  return cwnd_;
+}
+
+double HighSpeed::on_loss(const Signals&) {
+  const double w_pkts = cwnd_ / mss_;
+  ssthresh_ = std::max(cwnd_ * (1.0 - b_of_w(w_pkts)), 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+}  // namespace abg::cca

@@ -1,0 +1,80 @@
+// The Reno family: CCAs whose congestion-avoidance behaviour is an additive
+// increase shaped like Reno's one-MSS-per-RTT, with per-algorithm tweaks to
+// the increase coefficient or the loss response (paper §5.3).
+#pragma once
+
+#include "cca/loss_based.hpp"
+
+namespace abg::cca {
+
+// RFC 5681 NewReno congestion avoidance: cwnd += mss*acked/cwnd per ACK,
+// halve on loss.
+class Reno final : public LossBasedCca {
+ public:
+  std::string name() const override { return "reno"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// TCP Westwood+: Reno-style increase, but the loss response sets the window
+// to the estimated bandwidth-delay product (bw_est * min_rtt) instead of
+// blindly halving.
+class Westwood final : public LossBasedCca {
+ public:
+  std::string name() const override { return "westwood"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// Scalable TCP (Kelly 2003): cwnd += a * acked (a = 0.01) per ACK — growth
+// proportional to the window itself — and a gentle multiplicative decrease
+// of 1/8 on loss.
+class Scalable final : public LossBasedCca {
+ public:
+  std::string name() const override { return "scalable"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// TCP-LP (low priority): Reno increase, but backs off early when the
+// one-way-delay proxy (rtt - min_rtt) crosses a fraction of the observed
+// delay range, yielding to cross traffic before actual loss.
+class LowPriority final : public LossBasedCca {
+ public:
+  std::string name() const override { return "lp"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  double last_backoff_time_ = -1.0;
+};
+
+// TCP Hybla: Reno increase scaled by rho^2 where rho = rtt / rtt0 (rtt0 =
+// 25ms), compensating high-latency links so they grow as fast as a
+// reference low-latency connection.
+class Hybla final : public LossBasedCca {
+ public:
+  std::string name() const override { return "hybla"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  static constexpr double kRtt0 = 0.025;  // reference RTT, seconds
+};
+
+// HighSpeed TCP (RFC 3649): increase coefficient a(w) and decrease factor
+// b(w) grow/shrink with the window according to the RFC's response function.
+// The kernel implements this as a 73-row lookup table; we embed a condensed
+// table with the same shape.
+class HighSpeed final : public LossBasedCca {
+ public:
+  std::string name() const override { return "highspeed"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  double a_of_w(double w_pkts) const;
+  double b_of_w(double w_pkts) const;
+};
+
+}  // namespace abg::cca

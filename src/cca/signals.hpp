@@ -1,0 +1,33 @@
+// Congestion signals: the per-ACK measurement snapshot that the simulator
+// computes and feeds both to ground-truth CCAs (to drive their window logic)
+// and into collected traces (where candidate handlers replay them).
+//
+// Centralizing signal measurement here mirrors the paper (§5.4): "Abagnale
+// provides its own definitions of congestion signals and captures behavior
+// rather than implementation details" — e.g. NV's bespoke moving-average
+// delay filter is irrelevant because every CCA sees the same measured
+// signals.
+#pragma once
+
+namespace abg::cca {
+
+// All times in seconds, all window/byte quantities in bytes, rates in
+// bytes/second. A value of 0 for max_rtt/min_rtt means "no sample yet".
+struct Signals {
+  double now = 0.0;              // simulation clock at ACK arrival
+  double mss = 1448.0;           // maximum segment size (bytes)
+  double cwnd = 0.0;             // congestion window *before* this update
+  double inflight = 0.0;         // bytes outstanding
+  double acked_bytes = 0.0;      // bytes newly acknowledged by this ACK
+  double rtt = 0.0;              // latest RTT sample
+  double srtt = 0.0;             // smoothed RTT (EWMA, alpha = 1/8)
+  double min_rtt = 0.0;          // minimum RTT observed on the connection
+  double max_rtt = 0.0;          // maximum RTT observed on the connection
+  double ack_rate = 0.0;         // EWMA delivery rate (bytes acked / second)
+  double rtt_gradient = 0.0;     // smoothed d(rtt)/dt, dimensionless-ish (s/s)
+  double time_since_loss = 0.0;  // seconds since the last inferred loss event
+  double cwnd_at_loss = 0.0;     // window held when the last loss occurred
+                                 // ("wmax" in Cubic's handler, Table 2)
+};
+
+}  // namespace abg::cca

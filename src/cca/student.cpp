@@ -1,0 +1,114 @@
+#include "cca/student.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cca/delay_family.hpp"
+
+namespace abg::cca {
+
+// ----------------------------------------------------------- Student 1 ----
+
+double Student1::on_ack(const Signals& sig) {
+  const double target = 88.0 * mss_;
+  // Ramp quickly to the target and then sit on it.
+  cwnd_ = cwnd_ < target ? std::min(cwnd_ + sig.acked_bytes, target) : target;
+  return cwnd_;
+}
+
+double Student1::on_loss(const Signals&) { return cwnd_; }  // ignores loss
+
+// ----------------------------------------------------------- Student 2 ----
+
+double Student2::on_ack(const Signals& sig) {
+  const double diff = vegas_queue_estimate(sig);
+  if (sig.min_rtt > 0 && diff / (sig.min_rtt * 1000.0) >= 5.0 / 1000.0 && diff > 5.0) {
+    cwnd_ = mss_;  // harsh reset once the queue builds
+  } else {
+    cwnd_ += mss_ * sig.acked_bytes / std::max(cwnd_, mss_);
+  }
+  return clamp_cwnd();
+}
+
+double Student2::on_loss(const Signals&) {
+  cwnd_ = mss_;
+  return clamp_cwnd();
+}
+
+// ----------------------------------------------------------- Student 3 ----
+
+double Student3::on_ack(const Signals& sig) {
+  if (sig.ack_rate > 0 && sig.min_rtt > 0) {
+    cwnd_ = std::max(0.8 * sig.ack_rate * sig.min_rtt, 2.0 * mss_);
+  } else {
+    cwnd_ += sig.acked_bytes;  // bootstrap until a rate sample exists
+  }
+  return cwnd_;
+}
+
+double Student3::on_loss(const Signals&) { return clamp_cwnd(); }
+
+// ----------------------------------------------------------- Student 4 ----
+
+double Student4::on_ack(const Signals&) {
+  cwnd_ = 2.0 * mss_;  // floor keeps the connection alive; behaves as ~MSS
+  return cwnd_;
+}
+
+double Student4::on_loss(const Signals&) {
+  cwnd_ = 2.0 * mss_;
+  return cwnd_;
+}
+
+// ----------------------------------------------------------- Student 5 ----
+
+double Student5::on_ack(const Signals&) {
+  cwnd_ = 2.0 * mss_;
+  return cwnd_;
+}
+
+double Student5::on_loss(const Signals&) {
+  cwnd_ = 2.0 * mss_;
+  return cwnd_;
+}
+
+// ----------------------------------------------------------- Student 6 ----
+
+double Student6::on_ack(const Signals& sig) {
+  // Gradient clearly rising: multiplicative decrease, at most once per RTT
+  // so measurement noise cannot pin the window to the floor.
+  const bool cooled = last_backoff_ < 0 || sig.now - last_backoff_ > sig.srtt;
+  if (sig.rtt_gradient > 0.05 && cooled) {
+    last_backoff_ = sig.now;
+    cwnd_ *= 0.8;
+  } else {
+    // Otherwise a very aggressive additive increase (150 MSS per RTT,
+    // apportioned per ACK).
+    cwnd_ += 150.0 * mss_ * sig.acked_bytes / std::max(cwnd_, mss_);
+  }
+  return clamp_cwnd();
+}
+
+double Student6::on_loss(const Signals&) {
+  cwnd_ *= 0.5;
+  return clamp_cwnd();
+}
+
+// ----------------------------------------------------------- Student 7 ----
+
+double Student7::on_ack(const Signals& sig) {
+  if (slow_start_step(sig)) return cwnd_;
+  // Reno-style growth scaled by 20ms/rtt: twice as aggressive on short
+  // paths, gentler on long ones.
+  const double scale = sig.rtt > 0 ? std::min(2.0 * 0.02 / sig.rtt, 8.0) : 1.0;
+  cwnd_ += scale * mss_ * sig.acked_bytes / std::max(cwnd_, mss_);
+  return cwnd_;
+}
+
+double Student7::on_loss(const Signals&) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  return clamp_cwnd();
+}
+
+}  // namespace abg::cca

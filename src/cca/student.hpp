@@ -1,0 +1,78 @@
+// Seven synthetic "student" CCAs standing in for the paper's graduate
+// networking-class dataset (§5.6). The dataset itself is not redistributable,
+// so each CCA here implements the *behaviour* Table 2 reverse-engineered:
+// threshold-Vegas variants, constant windows, rate trackers, and one
+// delay-gradient scheme. That preserves the code path Abagnale exercises —
+// novel, classifier-defeating CCAs whose traces the pipeline must explain.
+#pragma once
+
+#include "cca/loss_based.hpp"
+
+namespace abg::cca {
+
+// Student 1: a fixed window of 88 packets (Table 2 synthesizes the literal
+// constant 88) reached via an aggressive ramp.
+class Student1 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student1"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// Student 2: Vegas-style threshold, but resets to one MSS when the queueing
+// threshold is crossed (synthesized: {vegas-diff/minRTT < 5} ? CWND+MSS : MSS).
+class Student2 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student2"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// Student 3: pure rate tracker — window pinned to a fraction of the
+// measured delivery rate times the base RTT (synthesized: .8*ACKed/minRTT).
+class Student3 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student3"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// Student 4: constant one-MSS window (synthesized: MSS).
+class Student4 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student4"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// Student 5: constant two-MSS window (synthesized: 2*MSS).
+class Student5 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student5"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+// Student 6: delay-gradient controller — aggressive additive increase while
+// the RTT gradient is flat, multiplicative decrease as it rises
+// (synthesized: (cwnd + 150*MSS) / delay-gradient).
+class Student6 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student6"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+
+ private:
+  double last_backoff_ = -1.0;
+};
+
+// Student 7: Reno-like increase whose aggressiveness scales inversely with
+// the RTT (synthesized: CWND + 2*ACKed/RTT).
+class Student7 final : public LossBasedCca {
+ public:
+  std::string name() const override { return "student7"; }
+  double on_ack(const Signals& sig) override;
+  double on_loss(const Signals& sig) override;
+};
+
+}  // namespace abg::cca

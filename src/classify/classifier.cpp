@@ -1,0 +1,82 @@
+#include "classify/classifier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/simulator.hpp"
+
+namespace abg::classify {
+
+std::vector<double> classifier_series(const trace::Trace& t) {
+  std::vector<double> out;
+  out.reserve(t.samples.size());
+  for (const auto& s : t.samples) {
+    const double mss = s.sig.mss > 0 ? s.sig.mss : 1.0;
+    out.push_back(s.cwnd_after / mss);
+  }
+  return out;
+}
+
+Classifier::Classifier(ClassifierOptions opts) : opts_(std::move(opts)) {
+  if (opts_.known_ccas.empty()) opts_.known_ccas = cca::kernel_cca_names();
+  if (opts_.environments.empty()) opts_.environments = net::default_environments(3, 1001);
+  for (const auto& name : opts_.known_ccas) {
+    Reference ref;
+    ref.cca = name;
+    for (const auto& env : opts_.environments) {
+      ref.series.push_back(classifier_series(net::run_connection(name, env)));
+    }
+    references_.push_back(std::move(ref));
+  }
+}
+
+double Classifier::distance_to_reference(const std::vector<double>& series,
+                                         const Reference& ref) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& r : ref.series) {
+    best = std::min(best, distance::compute(opts_.metric, series, r, opts_.dopts));
+  }
+  return best;
+}
+
+Classification Classifier::classify(const std::vector<trace::Trace>& connections) const {
+  Classification out;
+  std::map<std::string, int> votes;
+  std::map<std::string, double> mean_distance;
+
+  for (const auto& conn : connections) {
+    const auto series = classifier_series(conn);
+    ConnectionMatch match;
+    match.distance = std::numeric_limits<double>::infinity();
+    for (const auto& ref : references_) {
+      const double d = distance_to_reference(series, ref);
+      mean_distance[ref.cca] += d;
+      if (d < match.distance) {
+        match.distance = d;
+        match.cca = ref.cca;
+      }
+    }
+    if (match.distance <= opts_.unknown_threshold) ++votes[match.cca];
+    out.per_connection.push_back(std::move(match));
+  }
+
+  // Closest-CCA ranking by mean distance across connections.
+  std::vector<std::pair<double, std::string>> ranked;
+  for (auto& [name, total] : mean_distance) {
+    ranked.emplace_back(total / static_cast<double>(connections.size()), name);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [d, name] : ranked) out.closest.push_back(name);
+
+  // Majority vote over confident connections.
+  out.label = "unknown";
+  for (const auto& [name, count] : votes) {
+    if (static_cast<double>(count) >
+        opts_.majority * static_cast<double>(connections.size())) {
+      out.label = name;
+    }
+  }
+  return out;
+}
+
+}  // namespace abg::classify

@@ -1,0 +1,73 @@
+// Nearest-reference CCA classifier — the stand-in for Gordon [51] (kernel
+// CCAs) and CCAnalyzer [64] (UDP/student CCAs). Like both tools, it reduces
+// classification to comparing the connection's observable CWND time series
+// against reference traces of known CCAs, collected under the same
+// controlled environments, and votes across connections. Its job in the
+// pipeline (§3.3) is to hint which sub-DSL Abagnale should search.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "distance/distance.hpp"
+#include "trace/trace.hpp"
+
+namespace abg::classify {
+
+struct ClassifierOptions {
+  // Known CCAs to build references for (default: the 16 kernel CCAs).
+  std::vector<std::string> known_ccas;
+  // Environments references are collected under; must match the conditions
+  // the classified traces were collected under for a fair comparison.
+  std::vector<trace::Environment> environments;
+  distance::Metric metric = distance::Metric::kDtw;
+  distance::DistanceOptions dopts;
+  // A connection whose nearest-reference distance exceeds this is Unknown.
+  double unknown_threshold = 60.0;
+  // Majority fraction of connections required for a definitive label.
+  double majority = 0.5;
+};
+
+struct ConnectionMatch {
+  std::string cca;       // nearest reference
+  double distance = 0.0; // distance to it
+};
+
+struct Classification {
+  // Final label: a CCA name, or "unknown".
+  std::string label;
+  // Closest known CCAs overall (ascending mean distance) — the
+  // parenthesized hints of Table 3 that drive DSL selection.
+  std::vector<std::string> closest;
+  // Per-connection votes.
+  std::vector<ConnectionMatch> per_connection;
+
+  bool is_unknown() const { return label == "unknown"; }
+};
+
+class Classifier {
+ public:
+  explicit Classifier(ClassifierOptions opts = {});
+
+  // Classify a set of connections (traces) from one server/CCA.
+  Classification classify(const std::vector<trace::Trace>& connections) const;
+
+  const ClassifierOptions& options() const { return opts_; }
+
+ private:
+  struct Reference {
+    std::string cca;
+    std::vector<std::vector<double>> series;  // CWND in packets, one per env
+  };
+
+  double distance_to_reference(const std::vector<double>& series, const Reference& ref) const;
+
+  ClassifierOptions opts_;
+  std::vector<Reference> references_;
+};
+
+// CWND-in-packets series of a trace (classifier feature).
+std::vector<double> classifier_series(const trace::Trace& t);
+
+}  // namespace abg::classify

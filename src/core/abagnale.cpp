@@ -1,0 +1,59 @@
+#include "core/abagnale.hpp"
+
+#include "dsl/known_handlers.hpp"
+#include "util/log.hpp"
+
+namespace abg::core {
+
+std::string PipelineResult::handler_string() const {
+  return found() ? dsl::to_string(*synthesis.best.handler) : "<none>";
+}
+
+std::string dsl_for_classification(const classify::Classification& c) {
+  auto hint_for = [](const std::string& cca) -> std::optional<std::string> {
+    for (const auto& k : dsl::all_known_handlers()) {
+      if (k.cca == cca) return k.dsl_hint;
+    }
+    return std::nullopt;
+  };
+  if (!c.is_unknown()) {
+    if (auto h = hint_for(c.label)) return *h;
+  }
+  for (const auto& close : c.closest) {
+    if (auto h = hint_for(close)) return *h;
+  }
+  return "vegas";
+}
+
+Abagnale::Abagnale(PipelineOptions opts) : opts_(std::move(opts)) {}
+
+PipelineResult Abagnale::run_with_dsl(const std::vector<trace::Trace>& traces,
+                                      const std::string& dsl_name) const {
+  PipelineResult result;
+  result.dsl_name = dsl_name;
+  std::vector<trace::Trace> steady;
+  steady.reserve(traces.size());
+  for (const auto& t : traces) steady.push_back(trace::trim_warmup(t, opts_.warmup_s));
+  const auto segments =
+      trace::segment_all(steady, opts_.min_segment_samples, opts_.skip_first_segment);
+  result.segments_total = segments.size();
+  ABG_INFO("synthesizing in DSL '%s' over %zu segments from %zu traces", dsl_name.c_str(),
+           segments.size(), traces.size());
+  result.synthesis = synth::synthesize(dsl::dsl_by_name(dsl_name), segments, opts_.synth);
+  return result;
+}
+
+PipelineResult Abagnale::run(const std::vector<trace::Trace>& traces) const {
+  if (opts_.dsl_override) {
+    return run_with_dsl(traces, *opts_.dsl_override);
+  }
+  classify::Classifier classifier(opts_.classifier);
+  auto classification = classifier.classify(traces);
+  const std::string dsl_name = dsl_for_classification(classification);
+  ABG_INFO("classifier: label=%s -> DSL '%s'", classification.label.c_str(), dsl_name.c_str());
+  PipelineResult result = run_with_dsl(traces, dsl_name);
+  result.classification = std::move(classification);
+  return result;
+}
+
+}  // namespace abg::core

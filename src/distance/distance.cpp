@@ -1,0 +1,176 @@
+#include "distance/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace abg::distance {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kDtw: return "dtw";
+    case Metric::kEuclidean: return "euclidean";
+    case Metric::kManhattan: return "manhattan";
+    case Metric::kFrechet: return "frechet";
+    case Metric::kCorrelation: return "correlation";
+  }
+  return "?";
+}
+
+std::vector<Metric> all_metrics() {
+  return {Metric::kDtw, Metric::kEuclidean, Metric::kManhattan, Metric::kFrechet,
+          Metric::kCorrelation};
+}
+
+std::vector<double> resample(std::span<const double> in, std::size_t n) {
+  std::vector<double> out(n);
+  if (in.empty()) return out;
+  if (in.size() == 1) {
+    std::fill(out.begin(), out.end(), in[0]);
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pos = static_cast<double>(i) * static_cast<double>(in.size() - 1) /
+                       static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, in.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = in[lo] * (1.0 - frac) + in[hi] * frac;
+  }
+  return out;
+}
+
+double dtw(std::span<const double> a, std::span<const double> b, double band_frac) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP. Band half-width in columns.
+  const std::size_t band =
+      band_frac > 0 ? std::max<std::size_t>(
+                          1, static_cast<std::size_t>(band_frac * static_cast<double>(m)))
+                    : m + n;
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    // Band around the diagonal j ~ i * m / n.
+    const auto center = static_cast<std::size_t>(static_cast<double>(i) *
+                                                 static_cast<double>(m) / static_cast<double>(n));
+    const std::size_t j_lo = center > band ? center - band : 1;
+    const std::size_t j_hi = std::min(m, center + band);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::fabs(a[i - 1] - b[j - 1]);
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      if (best < kInf) cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  // Normalize by path length scale so distances are comparable across
+  // segment sizes.
+  const double d = prev[m];
+  return std::isfinite(d) ? d / static_cast<double>(n + m) * 2.0 : kInf;
+}
+
+namespace {
+
+// Resample both series to the shorter of (max(len_a, len_b), cap).
+std::pair<std::vector<double>, std::vector<double>> common_grid(std::span<const double> a,
+                                                                std::span<const double> b) {
+  const std::size_t n = std::max<std::size_t>(2, std::max(a.size(), b.size()));
+  return {resample(a, n), resample(b, n)};
+}
+
+}  // namespace
+
+double euclidean(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    return a.size() == b.size() ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  const auto [ra, rb] = common_grid(a, b);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double d = ra[i] - rb[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(ra.size()));
+}
+
+double manhattan(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    return a.size() == b.size() ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  const auto [ra, rb] = common_grid(a, b);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) sum += std::fabs(ra[i] - rb[i]);
+  return sum / static_cast<double>(ra.size());
+}
+
+double frechet(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
+  // DP over the coupling: ca(i,j) = max(|a_i-b_j|, min(ca(i-1,j), ca(i,j-1),
+  // ca(i-1,j-1))). Rolling rows.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m, kInf), cur(m, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double cost = std::fabs(a[i] - b[j]);
+      double reach;
+      if (i == 0 && j == 0) reach = cost;
+      else if (i == 0) reach = std::max(cur[j - 1], cost);
+      else if (j == 0) reach = std::max(prev[j], cost);
+      else reach = std::max(std::min({prev[j], cur[j - 1], prev[j - 1]}), cost);
+      cur[j] = reach;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m - 1];
+}
+
+double correlation_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    return a.size() == b.size() ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  const auto [ra, rb] = common_grid(a, b);
+  const auto n = static_cast<double>(ra.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va <= 0.0 && vb <= 0.0) return 0.0;  // both constant: identical shape
+  if (va <= 0.0 || vb <= 0.0) return 2.0;  // one constant: maximally distant
+  return 1.0 - cov / std::sqrt(va * vb);
+}
+
+double compute(Metric m, std::span<const double> a, std::span<const double> b,
+               const DistanceOptions& opts) {
+  std::vector<double> sa, sb;
+  std::span<const double> ua = a, ub = b;
+  if (a.size() > opts.max_points) {
+    sa = resample(a, opts.max_points);
+    ua = sa;
+  }
+  if (b.size() > opts.max_points) {
+    sb = resample(b, opts.max_points);
+    ub = sb;
+  }
+  switch (m) {
+    case Metric::kDtw: return dtw(ua, ub, opts.dtw_band_frac);
+    case Metric::kEuclidean: return euclidean(ua, ub);
+    case Metric::kManhattan: return manhattan(ua, ub);
+    case Metric::kFrechet: return frechet(ua, ub);
+    case Metric::kCorrelation: return correlation_distance(ua, ub);
+  }
+  return 0.0;
+}
+
+}  // namespace abg::distance

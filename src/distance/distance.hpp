@@ -1,0 +1,62 @@
+// Trace-distance metrics (§4.3). The synthesis loop scores a candidate
+// handler by the distance between its replayed CWND series and the observed
+// one; Figure 3 compares four metrics' tolerance to constant error and picks
+// Dynamic Time Warping. All series here are plain value sequences; callers
+// normalize CWND to packets first so magnitudes are comparable with the
+// paper's reported distances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace abg::distance {
+
+enum class Metric {
+  kDtw,          // alignment-based; tolerant of temporal shift
+  kEuclidean,    // L2 over resampled series
+  kManhattan,    // L1 over resampled series
+  kFrechet,      // discrete Fréchet (worst-case alignment)
+  kCorrelation,  // 1 - Pearson correlation (shape-only)
+};
+
+const char* metric_name(Metric m);
+std::vector<Metric> all_metrics();
+
+struct DistanceOptions {
+  // Series longer than this are linearly resampled down before the O(n*m)
+  // DP metrics run (fixed work per trace, as §3.2 requires).
+  std::size_t max_points = 256;
+  // Sakoe-Chiba band half-width for DTW as a fraction of the series length;
+  // <= 0 means unconstrained.
+  double dtw_band_frac = 0.0;
+};
+
+// Linear-interpolation resample of `in` to exactly n >= 2 points.
+std::vector<double> resample(std::span<const double> in, std::size_t n);
+
+// Dynamic Time Warping distance with per-step cost |a_i - b_j|.
+// band_frac <= 0 disables the Sakoe-Chiba band.
+double dtw(std::span<const double> a, std::span<const double> b, double band_frac = 0.0);
+
+// L2 distance between series resampled to a common length, normalized by
+// sqrt(length) so it is series-length independent.
+double euclidean(std::span<const double> a, std::span<const double> b);
+
+// L1 distance, length-normalized.
+double manhattan(std::span<const double> a, std::span<const double> b);
+
+// Discrete Fréchet distance.
+double frechet(std::span<const double> a, std::span<const double> b);
+
+// 1 - Pearson correlation coefficient, in [0, 2]; constant series are
+// maximally distant from non-constant ones.
+double correlation_distance(std::span<const double> a, std::span<const double> b);
+
+// Dispatch with resampling applied per `opts`. Empty series yield +inf
+// against non-empty ones and 0 against each other.
+double compute(Metric m, std::span<const double> a, std::span<const double> b,
+               const DistanceOptions& opts = {});
+
+}  // namespace abg::distance

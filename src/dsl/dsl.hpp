@@ -1,0 +1,67 @@
+// Sub-DSL curation (§3.3). A Dsl bundles the signal leaves, operators, size
+// bounds, and constant pool that frame one synthesis search space. Curated
+// instances mirror Listing 1: the base Reno-DSL, the Cubic-DSL extension
+// (cube / cube-root), and the rate/delay-DSL extension (RTT and rate
+// signals), plus the Vegas-DSL which adds the vegas-diff macro, and the
+// size-bounded Delay-7 / Delay-11 / Vegas-11 variants used in §6.3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+
+struct Dsl {
+  std::string name;
+  std::vector<Signal> signals;  // allowed leaves, including macros
+  std::vector<Op> ops;          // allowed operators
+  bool allow_constants = true;  // whether hole leaves may appear
+  int max_depth = 4;
+  int max_nodes = 15;
+  // Values a hole may take during approximate concretization (§4.2) —
+  // constants observed in known CCAs.
+  std::vector<double> constant_pool;
+
+  bool has_signal(Signal s) const;
+  bool has_op(Op o) const;
+  // Number of grammar elements (signals + operators [+ constant]), the
+  // "11 elements" count of §6.1.
+  std::size_t element_count() const;
+};
+
+// The default constant pool used by every curated DSL.
+std::vector<double> default_constant_pool();
+
+// --- Curated sub-DSLs (Listing 1) ------------------------------------------
+Dsl reno_dsl();        // black elements only + reno-inc macro
+Dsl cubic_dsl();       // reno + cube/cbrt + wmax
+Dsl rate_delay_dsl();  // reno + rtt/min-rtt/max-rtt/ack-rate/rtt-gradient
+                       // + htcp-diff & rtts-since-loss macros
+Dsl vegas_dsl();       // rate/delay + vegas-diff macro
+Dsl bbr_dsl();         // alias of rate_delay with mod-pulse emphasis
+
+// §6.3 size-bounded variants: depth 4, node budgets 7 and 11; Vegas-11 at
+// depth 5 with the vegas-diff macro.
+Dsl delay7_dsl();
+Dsl delay11_dsl();
+Dsl vegas11_dsl();
+
+// All curated DSLs by name ("reno", "cubic", "rate-delay", "vegas", "bbr",
+// "delay7", "delay11", "vegas11"); throws std::invalid_argument otherwise.
+Dsl dsl_by_name(const std::string& name);
+std::vector<std::string> curated_dsl_names();
+
+// --- Search-space accounting (§4.1, §6.1) -----------------------------------
+// Number of syntactically well-typed sketches of depth exactly <= max_depth
+// buildable from the DSL, ignoring all pruning. Computed by dynamic
+// programming over (depth, type); returned as double because the counts
+// overflow 64 bits quickly (the paper's 10^150).
+double sketch_space_size(const Dsl& dsl, int max_depth);
+
+// True iff expr only uses leaves/operators present in the DSL and respects
+// its size bounds.
+bool within_dsl(const Expr& e, const Dsl& dsl);
+
+}  // namespace abg::dsl

@@ -1,0 +1,82 @@
+#include "dsl/eval.hpp"
+
+#include <cmath>
+
+namespace abg::dsl {
+
+double signal_value(Signal s, const cca::Signals& sig) {
+  switch (s) {
+    case Signal::kMss: return sig.mss;
+    case Signal::kAckedBytes: return sig.acked_bytes;
+    case Signal::kTimeSinceLoss: return sig.time_since_loss;
+    case Signal::kRtt: return sig.rtt;
+    case Signal::kMinRtt: return sig.min_rtt;
+    case Signal::kMaxRtt: return sig.max_rtt;
+    case Signal::kAckRate: return sig.ack_rate;
+    case Signal::kRttGradient: return sig.rtt_gradient;
+    case Signal::kCwnd: return sig.cwnd;
+    case Signal::kWMax: return sig.cwnd_at_loss;
+    case Signal::kRenoInc:
+      // Reno's increment of one MSS per window's worth of ACKs (Table 1).
+      return sig.cwnd > 0 ? sig.acked_bytes * sig.mss / sig.cwnd : 0.0;
+    case Signal::kVegasDiff:
+      // Vegas's estimate of packets queued at the bottleneck (Table 1).
+      return sig.mss > 0 ? (sig.rtt - sig.min_rtt) * sig.ack_rate / sig.mss : 0.0;
+    case Signal::kHtcpDiff:
+      // H-TCP's normalized RTT variation (Table 1).
+      return sig.max_rtt > 0 ? (sig.rtt - sig.min_rtt) / sig.max_rtt : 0.0;
+    case Signal::kRttsSinceLoss:
+      // Time since loss scaled by the RTT estimate (Table 1).
+      return sig.rtt > 0 ? sig.time_since_loss / sig.rtt : 0.0;
+  }
+  return 0.0;
+}
+
+bool eval_bool(const Expr& e, const cca::Signals& sig) {
+  if (e.kind != Expr::Kind::kOp) return false;
+  switch (e.op) {
+    case Op::kLt: return eval(*e.children[0], sig) < eval(*e.children[1], sig);
+    case Op::kGt: return eval(*e.children[0], sig) > eval(*e.children[1], sig);
+    case Op::kModEq: {
+      const double a = std::fabs(eval(*e.children[0], sig));
+      const double b = std::fabs(eval(*e.children[1], sig));
+      if (b <= 0 || !std::isfinite(a) || !std::isfinite(b)) return false;
+      const double r = std::fmod(a, b);
+      return r <= kModTolerance * b || r >= b * (1.0 - kModTolerance);
+    }
+    default: return false;
+  }
+}
+
+double eval(const Expr& e, const cca::Signals& sig) {
+  switch (e.kind) {
+    case Expr::Kind::kSignal: return signal_value(e.signal, sig);
+    case Expr::Kind::kConst: return e.value;
+    case Expr::Kind::kHole: return 1.0;  // defensive; sketches should be filled
+    case Expr::Kind::kOp: break;
+  }
+  switch (e.op) {
+    case Op::kAdd: return eval(*e.children[0], sig) + eval(*e.children[1], sig);
+    case Op::kSub: return eval(*e.children[0], sig) - eval(*e.children[1], sig);
+    case Op::kMul: return eval(*e.children[0], sig) * eval(*e.children[1], sig);
+    case Op::kDiv: {
+      const double denom = eval(*e.children[1], sig);
+      return denom != 0.0 ? eval(*e.children[0], sig) / denom : 0.0;
+    }
+    case Op::kCond:
+      return eval_bool(*e.children[0], sig) ? eval(*e.children[1], sig)
+                                            : eval(*e.children[2], sig);
+    case Op::kCube: {
+      const double v = eval(*e.children[0], sig);
+      return v * v * v;
+    }
+    case Op::kCbrt: return std::cbrt(eval(*e.children[0], sig));
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kModEq:
+      return eval_bool(e, sig) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace abg::dsl

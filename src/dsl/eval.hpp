@@ -1,0 +1,27 @@
+// Expression evaluation over a per-ACK signal snapshot. The evaluator is
+// total: division by zero yields 0, non-finite results are clamped by the
+// caller (replay), and the modulo test uses a tolerance band so that it is
+// meaningful over continuous-valued signals (this is what lets a synthesized
+// `cwnd % 2.7 = 0` produce the sporadic pulses of Figure 4).
+#pragma once
+
+#include "cca/signals.hpp"
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+
+// Value of a signal leaf (including macros) given a measurement snapshot.
+double signal_value(Signal s, const cca::Signals& sig);
+
+// Evaluate a numeric expression. The expression must contain no holes
+// (fill_holes first); holes evaluate as 1.0 defensively.
+double eval(const Expr& e, const cca::Signals& sig);
+
+// Evaluate a boolean expression (kLt/kGt/kModEq root).
+bool eval_bool(const Expr& e, const cca::Signals& sig);
+
+// Relative tolerance of the `a % b = 0` test: true iff a is within
+// kModTolerance * b of a multiple of b.
+inline constexpr double kModTolerance = 0.05;
+
+}  // namespace abg::dsl

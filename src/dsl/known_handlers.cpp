@@ -1,0 +1,216 @@
+#include "dsl/known_handlers.hpp"
+
+#include <stdexcept>
+
+namespace abg::dsl {
+
+namespace {
+
+ExprPtr S(Signal s) { return sig(s); }
+ExprPtr C(double v) { return constant(v); }
+
+std::vector<KnownHandlers> build() {
+  std::vector<KnownHandlers> v;
+
+  // --- Reno -------------------------------------------------------------
+  // Our ground-truth Reno adds one full MSS per RTT (coefficient 1.0; the
+  // paper's testbed traces gave 0.7).
+  v.push_back({
+      "reno",
+      add(S(Signal::kCwnd), S(Signal::kRenoInc)),
+      add(S(Signal::kCwnd), S(Signal::kRenoInc)),
+      "reno",
+  });
+
+  // --- Westwood -----------------------------------------------------------
+  // Identical increase to Reno; Westwood differs only in its loss response,
+  // which the cwnd-ack handler cannot see.
+  v.push_back({
+      "westwood",
+      add(S(Signal::kCwnd), S(Signal::kRenoInc)),
+      add(S(Signal::kCwnd), S(Signal::kRenoInc)),
+      "reno",
+  });
+
+  // --- Scalable -----------------------------------------------------------
+  // cwnd += 0.01 * acked per ACK (multiplicative-increase flavour).
+  v.push_back({
+      "scalable",
+      add(S(Signal::kCwnd), mul(C(0.01), S(Signal::kAckedBytes))),
+      add(S(Signal::kCwnd), mul(C(0.01), S(Signal::kAckedBytes))),
+      "reno",
+  });
+
+  // --- LP -----------------------------------------------------------------
+  // Reno increase plus an early-backoff mode once queueing delay builds.
+  v.push_back({
+      "lp",
+      add(mul(S(Signal::kCwnd), cond(gt(S(Signal::kHtcpDiff), C(0.15)), C(0.5), C(1.0))),
+          S(Signal::kRenoInc)),
+      add(S(Signal::kCwnd), S(Signal::kRenoInc)),
+      "rate-delay",
+  });
+
+  // --- Hybla ---------------------------------------------------------------
+  // cwnd += rho^2 * reno-inc with rho = rtt / 25ms, i.e. 1600 * rtt^2 *
+  // reno-inc (the 1600 constant absorbs 1/seconds^2).
+  v.push_back({
+      "hybla",
+      add(S(Signal::kCwnd),
+          mul(C(1600.0), mul(S(Signal::kRtt), mul(S(Signal::kRtt), S(Signal::kRenoInc))))),
+      add(S(Signal::kCwnd),
+          mul(C(1600.0), mul(S(Signal::kRtt), mul(S(Signal::kRtt), S(Signal::kRenoInc))))),
+      "rate-delay",
+  });
+
+  // --- HTCP ----------------------------------------------------------------
+  // alpha ramps ~10x with time since loss past the 1-second low-speed mode
+  // (the in-DSL linearization of H-TCP's quadratic; the 10 absorbs 1/s).
+  v.push_back({
+      "htcp",
+      add(S(Signal::kCwnd),
+          mul(S(Signal::kRenoInc),
+              cond(gt(S(Signal::kTimeSinceLoss), C(1.0)),
+                   mul(C(10.0), S(Signal::kTimeSinceLoss)), C(1.0)))),
+      add(S(Signal::kCwnd), S(Signal::kRenoInc)),
+      "rate-delay",
+  });
+
+  // --- Illinois --------------------------------------------------------------
+  // alpha = 10 while queueing delay is low, 0.3 once it builds.
+  v.push_back({
+      "illinois",
+      add(S(Signal::kCwnd),
+          mul(S(Signal::kRenoInc),
+              cond(lt(S(Signal::kHtcpDiff), C(0.1)), C(10.0), C(0.3)))),
+      add(S(Signal::kCwnd), mul(C(1.3), S(Signal::kRenoInc))),
+      "rate-delay",
+  });
+
+  // --- Vegas ----------------------------------------------------------------
+  // alpha = 2, beta = 4 on the queue estimate: grow below, hold inside,
+  // shrink above.
+  v.push_back({
+      "vegas",
+      add(S(Signal::kCwnd),
+          cond(lt(S(Signal::kVegasDiff), C(2.0)), S(Signal::kRenoInc),
+               cond(gt(S(Signal::kVegasDiff), C(4.0)), mul(C(-1.0), S(Signal::kRenoInc)),
+                    C(0.0)))),
+      add(S(Signal::kCwnd),
+          cond(lt(S(Signal::kVegasDiff), C(2.0)), S(Signal::kRenoInc), C(0.0))),
+      "vegas",
+  });
+
+  // --- Veno -----------------------------------------------------------------
+  // Full Reno speed while the queue is short, half speed past 3 packets.
+  v.push_back({
+      "veno",
+      add(S(Signal::kCwnd),
+          mul(S(Signal::kRenoInc),
+              cond(lt(S(Signal::kVegasDiff), C(3.0)), C(1.0), C(0.5)))),
+      add(S(Signal::kCwnd),
+          mul(S(Signal::kRenoInc),
+              cond(lt(S(Signal::kVegasDiff), C(3.0)), C(1.0), C(0.5)))),
+      "vegas",
+  });
+
+  // --- NV -------------------------------------------------------------------
+  // Same fundamental logic as Vegas (thresholds 2/4); NV's once-per-RTT
+  // update cadence is hidden state the handler model ignores (S5.4).
+  v.push_back({
+      "nv",
+      add(S(Signal::kCwnd),
+          cond(lt(S(Signal::kVegasDiff), C(2.0)), S(Signal::kRenoInc),
+               cond(gt(S(Signal::kVegasDiff), C(4.0)), mul(C(-1.0), S(Signal::kRenoInc)),
+                    C(0.0)))),
+      add(S(Signal::kCwnd),
+          cond(lt(S(Signal::kVegasDiff), C(2.0)), S(Signal::kRenoInc), C(0.0))),
+      "vegas",
+  });
+
+  // --- YeAH -----------------------------------------------------------------
+  // Scalable-style fast mode under the queue threshold; Reno + decongestion
+  // above it ((1 - queued) * reno-inc goes negative as the queue grows).
+  v.push_back({
+      "yeah",
+      add(S(Signal::kCwnd),
+          cond(lt(S(Signal::kVegasDiff), C(8.0)), mul(C(0.01), S(Signal::kAckedBytes)),
+               mul(sub(C(1.0), S(Signal::kVegasDiff)), S(Signal::kRenoInc)))),
+      add(S(Signal::kCwnd),
+          mul(S(Signal::kRenoInc), cond(gt(S(Signal::kVegasDiff), C(8.0)), C(0.3), C(1.0)))),
+      "vegas",
+  });
+
+  // --- BBR ------------------------------------------------------------------
+  // fine-tuned: minRTT * ack-rate * ({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)
+  // (our PROBE_BW gain cycle advances one phase per min_rtt with a 1.25x
+  // probe every 8 phases; cwnd_gain = 2).
+  // synthesized (paper): 2*ack-rate*minRTT + ({cwnd % 2.7 = 0} ? 2.05*cwnd : mss)
+  v.push_back({
+      "bbr",
+      mul(mul(S(Signal::kMinRtt), S(Signal::kAckRate)),
+          cond(mod_eq(S(Signal::kRttsSinceLoss), C(8.0)), C(2.6), C(2.05))),
+      add(mul(C(2.0), mul(S(Signal::kAckRate), S(Signal::kMinRtt))),
+          cond(mod_eq(S(Signal::kCwnd), C(2.7)), mul(C(2.05), S(Signal::kCwnd)),
+               S(Signal::kMss))),
+      "bbr",
+  });
+
+  // --- Cubic ----------------------------------------------------------------
+  // Our Cubic: W(t) = 0.4*(t - K)^3 + wmax packets, K = cbrt(0.75 * wmax).
+  // Byte-correct encoding: wmax + mss*(cbrt(0.4)*t - cbrt(0.75*wmax/mss))^3,
+  // cbrt(0.4) ~= 0.737.
+  v.push_back({
+      "cubic",
+      add(S(Signal::kWMax),
+          mul(S(Signal::kMss),
+              cube(sub(mul(C(0.737), S(Signal::kTimeSinceLoss)),
+                       cbrt(mul(C(0.75), div(S(Signal::kWMax), S(Signal::kMss)))))))),
+      // synthesized (units disabled, S5.5): cwnd + t^3, byte-scaled via mss
+      add(S(Signal::kCwnd), mul(S(Signal::kMss), cube(S(Signal::kTimeSinceLoss)))),
+      "cubic",
+  });
+
+  // --- BIC / CDG / HighSpeed: no usable handler in the paper -----------------
+  v.push_back({"bic", nullptr, nullptr, "cubic"});
+  v.push_back({"cdg", nullptr, nullptr, "vegas"});
+  v.push_back({"highspeed", nullptr, nullptr, "reno"});
+
+  // --- Students (Table 2, second column only) --------------------------------
+  v.push_back({"student1", nullptr, mul(C(88.0), S(Signal::kMss)), "vegas11"});
+  v.push_back({"student2", nullptr,
+               cond(lt(S(Signal::kVegasDiff), C(5.0)),
+                    add(S(Signal::kCwnd), S(Signal::kMss)), S(Signal::kMss)),
+               "vegas11"});
+  v.push_back({"student3", nullptr,
+               mul(C(0.8), mul(S(Signal::kAckRate), S(Signal::kMinRtt))), "delay11"});
+  v.push_back({"student4", nullptr, mul(C(2.0), S(Signal::kMss)), "vegas11"});
+  v.push_back({"student5", nullptr, mul(C(2.0), S(Signal::kMss)), "vegas11"});
+  v.push_back({"student6", nullptr,
+               cond(gt(S(Signal::kRttGradient), C(0.0)),
+                    mul(C(0.8), S(Signal::kCwnd)),
+                    add(S(Signal::kCwnd), mul(C(150.0), S(Signal::kRenoInc)))),
+               "vegas11"});
+  v.push_back({"student7", nullptr,
+               add(S(Signal::kCwnd),
+                   mul(C(0.04), div(mul(S(Signal::kRenoInc), S(Signal::kMinRtt)),
+                                    mul(S(Signal::kRtt), S(Signal::kRtt))))),
+               "delay11"});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<KnownHandlers>& all_known_handlers() {
+  static const std::vector<KnownHandlers> kAll = build();
+  return kAll;
+}
+
+const KnownHandlers& known_handlers(const std::string& cca_name) {
+  for (const auto& k : all_known_handlers()) {
+    if (k.cca == cca_name) return k;
+  }
+  throw std::invalid_argument("no known handlers for CCA: " + cca_name);
+}
+
+}  // namespace abg::dsl

@@ -1,0 +1,36 @@
+// The domain-expert handlers of Table 2. For each CCA we encode:
+//   * the fine-tuned cwnd-ack handler (Table 2, third column) — the
+//     expression a domain expert wrote from the CCA's source, used as the
+//     accuracy yardstick in §6.2 and as the expert expressions of Figure 3;
+//   * the expected synthesized handler (Table 2, second column) — the
+//     expression Abagnale returned in the paper, used to validate that our
+//     search lands on the same structure.
+//
+// Window-valued subexpressions are in bytes. Where the paper's expression is
+// written in packet units (Cubic's polynomial), an explicit mss factor makes
+// the handler scale-correct; distances are always computed over
+// packet-normalized CWND series so reported magnitudes match the paper's.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+
+struct KnownHandlers {
+  std::string cca;                  // registry name, e.g. "reno"
+  ExprPtr fine_tuned;               // nullptr if the paper has none (students)
+  ExprPtr expected_synthesized;     // nullptr if out of scope (cdg, highspeed, bic)
+  std::string dsl_hint;             // curated DSL this CCA belongs to
+};
+
+// Lookup by CCA registry name; throws std::invalid_argument if unknown.
+const KnownHandlers& known_handlers(const std::string& cca_name);
+
+// All entries (kernel CCAs then students), stable order.
+const std::vector<KnownHandlers>& all_known_handlers();
+
+}  // namespace abg::dsl

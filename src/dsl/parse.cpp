@@ -1,0 +1,228 @@
+#include "dsl/parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace abg::dsl {
+
+namespace {
+
+// Recursive-descent parser over a simple cursor.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult run() {
+    auto e = parse_num();
+    skip_ws();
+    if (!e) return {nullptr, error_};
+    if (pos_ != text_.size()) {
+      return {nullptr, "trailing input at offset " + std::to_string(pos_)};
+    }
+    return {e, {}};
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(const char* w) {
+    skip_ws();
+    const std::size_t n = std::string(w).size();
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  ExprPtr fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg + " at offset " + std::to_string(pos_);
+    return nullptr;
+  }
+
+  // num := sum; bool-in-braces handled by parse_primary/cond.
+  ExprPtr parse_num() { return parse_sum(); }
+
+  ExprPtr parse_sum() {
+    auto lhs = parse_term();
+    if (!lhs) return nullptr;
+    for (;;) {
+      skip_ws();
+      // Don't confuse `- 3` continuation with nothing left.
+      if (eat('+')) {
+        auto rhs = parse_term();
+        if (!rhs) return nullptr;
+        lhs = add(std::move(lhs), std::move(rhs));
+      } else if (peek() == '-' ) {
+        ++pos_;
+        auto rhs = parse_term();
+        if (!rhs) return nullptr;
+        lhs = sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    auto lhs = parse_postfix();
+    if (!lhs) return nullptr;
+    for (;;) {
+      if (eat('*')) {
+        auto rhs = parse_postfix();
+        if (!rhs) return nullptr;
+        lhs = mul(std::move(lhs), std::move(rhs));
+      } else if (eat('/')) {
+        auto rhs = parse_postfix();
+        if (!rhs) return nullptr;
+        lhs = div(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_postfix() {
+    auto e = parse_primary();
+    if (!e) return nullptr;
+    while (eat('^')) {
+      if (!eat('3')) return fail("only ^3 is supported");
+      e = cube(std::move(e));
+    }
+    return e;
+  }
+
+  // bool := num ('<' | '>') num | num '%' num '=' '0'
+  ExprPtr parse_bool() {
+    auto lhs = parse_num();
+    if (!lhs) return nullptr;
+    if (eat('<')) {
+      auto rhs = parse_num();
+      return rhs ? lt(std::move(lhs), std::move(rhs)) : nullptr;
+    }
+    if (eat('>')) {
+      auto rhs = parse_num();
+      return rhs ? gt(std::move(lhs), std::move(rhs)) : nullptr;
+    }
+    if (eat('%')) {
+      auto rhs = parse_num();
+      if (!rhs) return nullptr;
+      if (!eat('=') || !eat('0')) return fail("modulo condition must end in '= 0'");
+      return mod_eq(std::move(lhs), std::move(rhs));
+    }
+    return fail("expected comparison in condition");
+  }
+
+  ExprPtr parse_cond() {
+    // '{' already consumed.
+    auto c = parse_bool();
+    if (!c) return nullptr;
+    if (!eat('}')) return fail("expected '}'");
+    if (!eat('?')) return fail("expected '?' after condition");
+    auto then_e = parse_num();
+    if (!then_e) return nullptr;
+    if (!eat(':')) return fail("expected ':' in conditional");
+    auto else_e = parse_num();
+    if (!else_e) return nullptr;
+    return cond(std::move(c), std::move(then_e), std::move(else_e));
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto e = parse_num();
+      if (!e) return nullptr;
+      if (!eat(')')) return fail("expected ')'");
+      return e;
+    }
+    if (c == '{') {
+      ++pos_;
+      return parse_cond();
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    return parse_ident();
+  }
+
+  ExprPtr parse_number() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return constant(v);
+  }
+
+  ExprPtr parse_ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_') {
+        // A '-' only continues the identifier if followed by a letter
+        // (signal names like min-rtt), not a number (subtraction).
+        if (c == '-' && (pos_ + 1 >= text_.size() ||
+                         !std::isalpha(static_cast<unsigned char>(text_[pos_ + 1])))) {
+          break;
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected identifier");
+    const std::string word = text_.substr(start, pos_ - start);
+    // cbrt(...) function form.
+    if (word == "cbrt") {
+      if (!eat('(')) return fail("expected '(' after cbrt");
+      auto e = parse_num();
+      if (!e) return nullptr;
+      if (!eat(')')) return fail("expected ')'");
+      return cbrt(std::move(e));
+    }
+    // Hole: c<digits>.
+    if (word.size() >= 2 && word[0] == 'c' &&
+        std::isdigit(static_cast<unsigned char>(word[1]))) {
+      bool all_digits = true;
+      for (std::size_t i = 1; i < word.size(); ++i) {
+        all_digits = all_digits && std::isdigit(static_cast<unsigned char>(word[i]));
+      }
+      if (all_digits) return hole(std::atoi(word.c_str() + 1));
+    }
+    // Signal by printed name.
+    for (std::size_t s = 0; s < kSignalCount; ++s) {
+      if (word == signal_name(static_cast<Signal>(s))) return sig(static_cast<Signal>(s));
+    }
+    return fail("unknown identifier '" + word + "'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace abg::dsl

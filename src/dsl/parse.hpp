@@ -1,0 +1,31 @@
+// Parser for the handler-expression syntax emitted by to_string(), so
+// handlers can round-trip through logs/CLIs and users can score their own
+// expressions against traces:
+//
+//   cwnd + 0.7 * reno-inc
+//   {vegas-diff < 1} ? 0.7 * reno-inc : 0
+//   min-rtt * ack-rate * ({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)
+//   wmax + mss * (0.737 * time-since-loss - cbrt(0.75 * (wmax / mss)))^3
+//
+// Standard precedence (unary minus > ^3 > * / > + - > comparisons), left
+// associative; conditionals are written `{bool} ? num : num`; holes are
+// `c0`, `c1`, ...
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+
+struct ParseResult {
+  ExprPtr expr;        // null on failure
+  std::string error;   // human-readable diagnostic on failure
+
+  explicit operator bool() const { return expr != nullptr; }
+};
+
+ParseResult parse(const std::string& text);
+
+}  // namespace abg::dsl

@@ -1,0 +1,127 @@
+#include "dsl/units.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace abg::dsl {
+
+UnitVec signal_unit(Signal s) {
+  switch (s) {
+    case Signal::kMss:
+    case Signal::kAckedBytes:
+    case Signal::kCwnd:
+    case Signal::kWMax:
+    case Signal::kRenoInc:
+      return {1, 0};
+    case Signal::kTimeSinceLoss:
+    case Signal::kRtt:
+    case Signal::kMinRtt:
+    case Signal::kMaxRtt:
+      return {0, 1};
+    case Signal::kAckRate:
+      return {1, -1};
+    case Signal::kRttGradient:     // seconds/second
+    case Signal::kVegasDiff:       // packets (dimensionless count)
+    case Signal::kHtcpDiff:
+    case Signal::kRttsSinceLoss:
+      return {0, 0};
+  }
+  return {0, 0};
+}
+
+namespace {
+
+// Unit inference for a fixed assignment of hole units. Returns nullopt on
+// dimensional inconsistency. Bool nodes "have" no unit; they require their
+// operands to agree and report kDimensionless to the parent (only kCond
+// consumes them).
+std::optional<UnitVec> infer(const Expr& e, const std::vector<int>& ids,
+                             const std::vector<UnitVec>& hole_units) {
+  switch (e.kind) {
+    case Expr::Kind::kSignal: return signal_unit(e.signal);
+    case Expr::Kind::kConst: return kDimensionless;
+    case Expr::Kind::kHole: {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == e.hole_id) return hole_units[i];
+      }
+      return kDimensionless;
+    }
+    case Expr::Kind::kOp: break;
+  }
+  auto child = [&](std::size_t i) { return infer(*e.children[i], ids, hole_units); };
+  switch (e.op) {
+    case Op::kAdd:
+    case Op::kSub: {
+      const auto a = child(0), b = child(1);
+      if (!a || !b || !(*a == *b)) return std::nullopt;
+      return a;
+    }
+    case Op::kMul: {
+      const auto a = child(0), b = child(1);
+      if (!a || !b) return std::nullopt;
+      return UnitVec{a->bytes + b->bytes, a->secs + b->secs};
+    }
+    case Op::kDiv: {
+      const auto a = child(0), b = child(1);
+      if (!a || !b) return std::nullopt;
+      return UnitVec{a->bytes - b->bytes, a->secs - b->secs};
+    }
+    case Op::kCond: {
+      const auto c = child(0);
+      if (!c) return std::nullopt;  // condition internally inconsistent
+      const auto a = child(1), b = child(2);
+      if (!a || !b || !(*a == *b)) return std::nullopt;
+      return a;
+    }
+    case Op::kCube: {
+      const auto a = child(0);
+      if (!a) return std::nullopt;
+      return UnitVec{3 * a->bytes, 3 * a->secs};
+    }
+    case Op::kCbrt: {
+      const auto a = child(0);
+      if (!a || a->bytes % 3 != 0 || a->secs % 3 != 0) return std::nullopt;
+      return UnitVec{a->bytes / 3, a->secs / 3};
+    }
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kModEq: {
+      const auto a = child(0), b = child(1);
+      if (!a || !b || !(*a == *b)) return std::nullopt;
+      return kDimensionless;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<UnitVec> infer_unit_concrete(const Expr& e) {
+  if (e.is_bool()) return std::nullopt;
+  return infer(e, {}, {});
+}
+
+bool unit_check(const Expr& e, UnitVec expected) {
+  if (e.is_bool()) return false;
+  const auto ids = hole_ids(e);
+  std::vector<UnitVec> assignment(ids.size());
+  // DFS over hole unit assignments; each hole has (2R+1)^2 options. With
+  // <= ~5 holes this is bounded by ~10M inferences worst-case, but typical
+  // sketches have <= 3 holes (~15k). Abort early on success.
+  std::function<bool(std::size_t)> dfs = [&](std::size_t i) -> bool {
+    if (i == ids.size()) {
+      const auto u = infer(e, ids, assignment);
+      return u && *u == expected;
+    }
+    for (int b = -kHoleUnitRange; b <= kHoleUnitRange; ++b) {
+      for (int s = -kHoleUnitRange; s <= kHoleUnitRange; ++s) {
+        assignment[i] = UnitVec{b, s};
+        if (dfs(i + 1)) return true;
+      }
+    }
+    return false;
+  };
+  return dfs(0);
+}
+
+}  // namespace abg::dsl

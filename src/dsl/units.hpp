@@ -1,0 +1,44 @@
+// Dimensional analysis over expressions (§4.1: "the output should have the
+// correct units (in this case bytes)"). Units are integer exponent vectors
+// over two base dimensions, bytes and seconds — integer-valued only, exactly
+// the design decision the paper makes so the enumerator formula stays in a
+// quantifier-free finite domain (§5.5). Constants/holes are
+// unit-polymorphic: each hole carries free integer exponents (this is how
+// Hybla's `8 * rtt * reno-inc` unit-checks — the 8 absorbs 1/seconds).
+#pragma once
+
+#include <optional>
+
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+
+struct UnitVec {
+  int bytes = 0;
+  int secs = 0;
+  bool operator==(const UnitVec&) const = default;
+};
+
+// The fixed unit of each signal leaf.
+UnitVec signal_unit(Signal s);
+
+// Unit of the handler output: bytes (a congestion window).
+inline constexpr UnitVec kBytesUnit{1, 0};
+inline constexpr UnitVec kDimensionless{0, 0};
+
+// Exponent range allowed for a hole's polymorphic unit.
+inline constexpr int kHoleUnitRange = 2;  // each exponent in [-2, 2]
+
+// True iff there is an assignment of integer units (within +/-
+// kHoleUnitRange) to every hole and constant such that the expression's
+// unit works out to `expected`. Exhaustive search with bottom-up pruning;
+// expressions in this DSL have <= ~6 holes so the search is small. Returns
+// false for bool-rooted expressions (they have no unit).
+bool unit_check(const Expr& e, UnitVec expected = kBytesUnit);
+
+// Infers the unit of a hole-free expression, or nullopt if the expression
+// is dimensionally inconsistent (e.g. rtt + cwnd) or bool-rooted. Constants
+// are treated as dimensionless here.
+std::optional<UnitVec> infer_unit_concrete(const Expr& e);
+
+}  // namespace abg::dsl

@@ -1,0 +1,224 @@
+#include "net/duel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "net/event_queue.hpp"
+#include "net/link.hpp"
+#include "net/receiver.hpp"
+#include "net/signal_tracker.hpp"
+
+namespace abg::net {
+
+namespace {
+
+// Per-flow sender state: the same NewReno-style machinery as the single-flow
+// Connection, against a *shared* bottleneck link.
+class Flow {
+ public:
+  Flow(cca::CcaInterface& cca, EventQueue& queue, Link& data_link, Link& ack_link,
+       util::Rng& rng, const SimOptions& opts)
+      : cca_(cca), queue_(queue), data_link_(data_link), ack_link_(ack_link), rng_(rng),
+        opts_(opts) {
+    cwnd_ = opts.initial_cwnd_pkts * opts.mss_bytes;
+    cca_.init(opts.mss_bytes, cwnd_);
+  }
+
+  void start(const trace::Environment& env) {
+    trace_.cca_name = cca_.name();
+    trace_.env = env;
+    try_send();
+    schedule_rto_check(env.duration_s);
+  }
+
+  trace::Trace take_trace() { return std::move(trace_); }
+
+  double delivered_bytes() const {
+    return static_cast<double>(last_ack_) * opts_.mss_bytes;
+  }
+
+ private:
+  double inflight_bytes() const {
+    return static_cast<double>(next_seq_ - last_ack_) * opts_.mss_bytes;
+  }
+
+  void try_send() {
+    while (inflight_bytes() + opts_.mss_bytes <= cwnd_) {
+      send_segment(next_seq_++, false);
+    }
+  }
+
+  void send_segment(std::int64_t seq, bool retransmit) {
+    const double now = queue_.now();
+    if (!retransmit) send_time_[seq] = now;
+    else send_time_.erase(seq);
+    last_send_time_ = now;
+    auto delivery = data_link_.transmit(opts_.mss_bytes, now, rng_);
+    if (!delivery) return;
+    queue_.schedule(*delivery, [this, seq] {
+      const std::int64_t ack = receiver_.on_segment(seq);
+      auto back = ack_link_.transmit(40.0, queue_.now(), rng_);
+      if (back) queue_.schedule(*back, [this, ack] { on_ack(ack); });
+    });
+  }
+
+  cca::Signals make_signals(double acked_bytes) {
+    cca::Signals sig;
+    sig.mss = opts_.mss_bytes;
+    sig.cwnd = cwnd_;
+    sig.inflight = inflight_bytes();
+    sig.acked_bytes = acked_bytes;
+    tracker_.fill(sig, queue_.now());
+    return sig;
+  }
+
+  void record(const cca::Signals& sig, std::int64_t ack, bool is_dup, bool loss) {
+    trace::AckSample sample;
+    sample.sig = sig;
+    sample.cwnd_after = cwnd_;
+    sample.ack_seq = static_cast<double>(ack) * opts_.mss_bytes;
+    sample.is_dup = is_dup;
+    sample.loss_event = loss;
+    trace_.samples.push_back(sample);
+  }
+
+  void on_ack(std::int64_t ack) {
+    const double now = queue_.now();
+    if (ack > last_ack_) {
+      const double acked = static_cast<double>(ack - last_ack_) * opts_.mss_bytes;
+      for (std::int64_t s = ack - 1; s >= last_ack_; --s) {
+        auto it = send_time_.find(s);
+        if (it != send_time_.end()) {
+          tracker_.on_rtt_sample(now - it->second, now);
+          break;
+        }
+      }
+      for (std::int64_t s = last_ack_; s < ack; ++s) send_time_.erase(s);
+      tracker_.on_delivery(acked, now);
+      last_ack_ = ack;
+      last_progress_time_ = now;
+      dup_count_ = 0;
+      if (in_recovery_ && ack >= recover_seq_) in_recovery_ = false;
+      cca::Signals sig = make_signals(acked);
+      if (in_recovery_) {
+        record(sig, ack, false, false);
+        send_segment(last_ack_, true);  // NewReno partial-ACK repair
+      } else {
+        cwnd_ = std::max(cca_.on_ack(sig), opts_.mss_bytes);
+        record(sig, ack, false, false);
+      }
+    } else {
+      ++dup_count_;
+      if (dup_count_ == 3 && !in_recovery_) {
+        in_recovery_ = true;
+        recover_seq_ = next_seq_;
+        tracker_.on_loss(now, cwnd_);
+        cca::Signals sig = make_signals(0.0);
+        cwnd_ = std::max(cca_.on_loss(sig), opts_.mss_bytes);
+        record(sig, ack, true, true);
+        send_segment(last_ack_, true);
+      } else {
+        cca::Signals sig = make_signals(0.0);
+        record(sig, ack, true, false);
+      }
+    }
+    try_send();
+  }
+
+  void schedule_rto_check(double duration) {
+    const double interval =
+        std::max(opts_.rto_floor_s, opts_.rto_srtt_multiplier * std::max(tracker_.srtt(), 0.05));
+    queue_.schedule_in(interval, [this, duration] {
+      maybe_timeout();
+      if (queue_.now() < duration) schedule_rto_check(duration);
+    });
+  }
+
+  void maybe_timeout() {
+    const double now = queue_.now();
+    const double rto =
+        std::max(opts_.rto_floor_s, opts_.rto_srtt_multiplier * std::max(tracker_.srtt(), 0.05));
+    if (inflight_bytes() <= 0 || now - last_progress_time_ <= rto ||
+        now - last_send_time_ <= rto) {
+      return;
+    }
+    tracker_.on_loss(now, cwnd_);
+    cca::Signals sig = make_signals(0.0);
+    cwnd_ = std::max(cca_.on_loss(sig), opts_.mss_bytes);
+    record(sig, last_ack_, false, true);
+    in_recovery_ = true;
+    recover_seq_ = next_seq_;
+    next_seq_ = last_ack_;
+    send_time_.clear();
+    last_progress_time_ = now;
+    try_send();
+  }
+
+  cca::CcaInterface& cca_;
+  EventQueue& queue_;
+  Link& data_link_;
+  Link& ack_link_;
+  util::Rng& rng_;
+  SimOptions opts_;
+  Receiver receiver_;
+  SignalTracker tracker_;
+  trace::Trace trace_;
+  double cwnd_ = 0.0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t last_ack_ = 0;
+  std::map<std::int64_t, double> send_time_;
+  int dup_count_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_seq_ = 0;
+  double last_progress_time_ = 0.0;
+  double last_send_time_ = 0.0;
+};
+
+}  // namespace
+
+double DuelResult::jain_index() const {
+  const double a = throughput_a_bps, b = throughput_b_bps;
+  if (a + b <= 0) return 1.0;
+  return (a + b) * (a + b) / (2.0 * (a * a + b * b));
+}
+
+double DuelResult::share_a() const {
+  const double total = throughput_a_bps + throughput_b_bps;
+  return total > 0 ? throughput_a_bps / total : 0.5;
+}
+
+DuelResult run_two_flows(cca::CcaInterface& cca_a, cca::CcaInterface& cca_b,
+                         const trace::Environment& env, double stagger_s,
+                         const SimOptions& opts) {
+  EventQueue queue;
+  util::Rng rng(env.seed);
+  const double buffer =
+      env.buffer_bytes > 0 ? env.buffer_bytes : env.bandwidth_bps / 8.0 * env.rtt_s;
+  Link data_link(env.bandwidth_bps, env.rtt_s / 2.0, buffer, env.random_loss);
+  Link ack_link(std::max(env.bandwidth_bps * 10.0, 100e6), env.rtt_s / 2.0, 0.0, 0.0);
+
+  Flow flow_a(cca_a, queue, data_link, ack_link, rng, opts);
+  Flow flow_b(cca_b, queue, data_link, ack_link, rng, opts);
+  flow_a.start(env);
+  queue.schedule(stagger_s, [&flow_b, &env] { flow_b.start(env); });
+  queue.run_until(env.duration_s);
+
+  DuelResult result;
+  const double active_b = std::max(env.duration_s - stagger_s, 1e-9);
+  result.throughput_a_bps = flow_a.delivered_bytes() * 8.0 / env.duration_s;
+  result.throughput_b_bps = flow_b.delivered_bytes() * 8.0 / active_b;
+  result.flow_a = flow_a.take_trace();
+  result.flow_b = flow_b.take_trace();
+  return result;
+}
+
+DuelResult run_two_flows(const std::string& cca_a, const std::string& cca_b,
+                         const trace::Environment& env, double stagger_s,
+                         const SimOptions& opts) {
+  auto a = cca::make_cca(cca_a);
+  auto b = cca::make_cca(cca_b);
+  return run_two_flows(*a, *b, env, stagger_s, opts);
+}
+
+}  // namespace abg::net

@@ -1,0 +1,39 @@
+// Two flows sharing one bottleneck — the analysis the paper motivates (§2.1:
+// new CCAs "may improve or harm ... the Internet's fairness landscape").
+// Once Abagnale produces a handler for an unknown CCA, wrapping it in
+// core::HandlerCca and dueling it against Reno/Cubic here answers the
+// question the reverse-engineering was for: how aggressive is this thing?
+#pragma once
+
+#include "cca/cca.hpp"
+#include "net/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace abg::net {
+
+struct DuelResult {
+  trace::Trace flow_a;
+  trace::Trace flow_b;
+  double throughput_a_bps = 0.0;
+  double throughput_b_bps = 0.0;
+
+  // Jain's fairness index over the two throughputs: 1.0 = perfectly fair,
+  // 0.5 = one flow starved.
+  double jain_index() const;
+  // Flow A's share of the combined goodput, in [0, 1].
+  double share_a() const;
+};
+
+// Run both CCAs through the same bottleneck link for env.duration_s. Flow B
+// starts after `stagger_s` so the duel also exercises convergence from an
+// occupied link.
+DuelResult run_two_flows(cca::CcaInterface& cca_a, cca::CcaInterface& cca_b,
+                         const trace::Environment& env, double stagger_s = 0.0,
+                         const SimOptions& opts = {});
+
+// Registry-name convenience.
+DuelResult run_two_flows(const std::string& cca_a, const std::string& cca_b,
+                         const trace::Environment& env, double stagger_s = 0.0,
+                         const SimOptions& opts = {});
+
+}  // namespace abg::net

@@ -1,0 +1,29 @@
+#include "net/event_queue.hpp"
+
+#include <algorithm>
+
+namespace abg::net {
+
+void EventQueue::schedule(double when, Callback cb) {
+  heap_.push(Event{std::max(when, now_), next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out, so
+  // copy the POD parts first and const_cast the closure (safe: popped next).
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    step();
+  }
+  now_ = std::max(now_, t_end);
+}
+
+}  // namespace abg::net

@@ -1,0 +1,50 @@
+// Discrete-event engine: a time-ordered queue of closures. Ties are broken
+// by insertion order so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace abg::net {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedule cb at absolute time `when` (clamped to now).
+  void schedule(double when, Callback cb);
+  // Schedule cb `delay` seconds from now.
+  void schedule_in(double delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  // Pop and run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  // Run events until the clock passes `t_end` or the queue drains.
+  void run_until(double t_end);
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // insertion order, for deterministic tie-breaking
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace abg::net

@@ -1,0 +1,34 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace abg::net {
+
+Link::Link(double rate_bps, double prop_delay_s, double buffer_bytes, double loss_prob)
+    : rate_bps_(rate_bps),
+      prop_delay_s_(prop_delay_s),
+      buffer_bytes_(buffer_bytes),
+      loss_prob_(loss_prob) {}
+
+double Link::backlog_bytes(double t) const {
+  return std::max(busy_until_ - t, 0.0) * rate_bps_ / 8.0;
+}
+
+double Link::queueing_delay(double t) const { return std::max(busy_until_ - t, 0.0); }
+
+std::optional<double> Link::transmit(double bytes, double arrival_time, util::Rng& rng) {
+  if (loss_prob_ > 0 && rng.chance(loss_prob_)) {
+    ++drops_;
+    return std::nullopt;
+  }
+  if (buffer_bytes_ > 0 && backlog_bytes(arrival_time) + bytes > buffer_bytes_) {
+    ++drops_;
+    return std::nullopt;  // tail drop
+  }
+  const double start = std::max(busy_until_, arrival_time);
+  const double serialization = bytes * 8.0 / rate_bps_;
+  busy_until_ = start + serialization;
+  return busy_until_ + prop_delay_s_;
+}
+
+}  // namespace abg::net

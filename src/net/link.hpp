@@ -1,0 +1,45 @@
+// Bottleneck link model: fixed service rate, drop-tail FIFO buffer, and a
+// propagation delay. Queue occupancy is tracked with the standard fluid
+// approximation — the backlog at time t is (busy_until - t) * rate — which
+// is exact for a FIFO serving fixed-rate work.
+#pragma once
+
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace abg::net {
+
+class Link {
+ public:
+  // rate_bps: service rate; prop_delay_s: one-way propagation after service;
+  // buffer_bytes: drop-tail capacity (packets beyond this are dropped);
+  // loss_prob: iid random drop applied before enqueue.
+  Link(double rate_bps, double prop_delay_s, double buffer_bytes, double loss_prob = 0.0);
+
+  // Offer a packet of `bytes` at `arrival_time`. Returns the time the packet
+  // is delivered at the far end, or nullopt if dropped (buffer overflow or
+  // random loss).
+  std::optional<double> transmit(double bytes, double arrival_time, util::Rng& rng);
+
+  // Bytes currently queued (not yet serialized) at time t.
+  double backlog_bytes(double t) const;
+  // Queueing delay a new arrival at time t would experience.
+  double queueing_delay(double t) const;
+
+  double rate_bps() const { return rate_bps_; }
+  double prop_delay_s() const { return prop_delay_s_; }
+  double buffer_bytes() const { return buffer_bytes_; }
+
+  std::size_t drops() const { return drops_; }
+
+ private:
+  double rate_bps_;
+  double prop_delay_s_;
+  double buffer_bytes_;
+  double loss_prob_;
+  double busy_until_ = 0.0;
+  std::size_t drops_ = 0;
+};
+
+}  // namespace abg::net

@@ -1,0 +1,21 @@
+#include "net/receiver.hpp"
+
+namespace abg::net {
+
+std::int64_t Receiver::on_segment(std::int64_t seq) {
+  if (seq == expected_) {
+    ++expected_;
+    // Absorb any buffered contiguous segments.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == expected_) {
+      ++expected_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (seq > expected_) {
+    out_of_order_.insert(seq);
+  }
+  // seq < expected_: spurious retransmission; re-ACK the frontier.
+  return expected_;
+}
+
+}  // namespace abg::net

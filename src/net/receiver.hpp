@@ -1,0 +1,23 @@
+// TCP-style receiver: cumulative ACKs with duplicate ACKs on reordering or
+// loss (no SACK). Sequence numbers count whole MSS-sized segments.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+namespace abg::net {
+
+class Receiver {
+ public:
+  // Deliver segment `seq`; returns the cumulative ACK number to send
+  // (the next expected segment).
+  std::int64_t on_segment(std::int64_t seq);
+
+  std::int64_t next_expected() const { return expected_; }
+
+ private:
+  std::int64_t expected_ = 0;
+  std::set<std::int64_t> out_of_order_;
+};
+
+}  // namespace abg::net

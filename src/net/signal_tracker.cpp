@@ -1,0 +1,45 @@
+#include "net/signal_tracker.hpp"
+
+#include <algorithm>
+
+namespace abg::net {
+
+void SignalTracker::on_rtt_sample(double rtt, double now) {
+  last_rtt_ = rtt;
+  srtt_ = srtt_ <= 0 ? rtt : (1.0 - kSrttAlpha) * srtt_ + kSrttAlpha * rtt;
+  min_rtt_ = min_rtt_ <= 0 ? rtt : std::min(min_rtt_, rtt);
+  max_rtt_ = std::max(max_rtt_, rtt);
+  if (prev_rtt_time_ >= 0 && now > prev_rtt_time_) {
+    const double g = (rtt - prev_rtt_) / (now - prev_rtt_time_);
+    rtt_gradient_ = (1.0 - kGradAlpha) * rtt_gradient_ + kGradAlpha * g;
+  }
+  prev_rtt_ = rtt;
+  prev_rtt_time_ = now;
+}
+
+void SignalTracker::on_delivery(double acked_bytes, double now) {
+  if (last_delivery_time_ >= 0 && now > last_delivery_time_) {
+    const double rate = acked_bytes / (now - last_delivery_time_);
+    ack_rate_ = ack_rate_ <= 0 ? rate : (1.0 - kRateAlpha) * ack_rate_ + kRateAlpha * rate;
+  }
+  last_delivery_time_ = now;
+}
+
+void SignalTracker::on_loss(double now, double cwnd_at_loss) {
+  last_loss_time_ = now;
+  cwnd_at_loss_ = cwnd_at_loss;
+}
+
+void SignalTracker::fill(cca::Signals& sig, double now) const {
+  sig.now = now;
+  sig.rtt = last_rtt_;
+  sig.srtt = srtt_;
+  sig.min_rtt = min_rtt_;
+  sig.max_rtt = max_rtt_;
+  sig.ack_rate = ack_rate_;
+  sig.rtt_gradient = rtt_gradient_;
+  sig.time_since_loss = now - last_loss_time_;
+  sig.cwnd_at_loss = cwnd_at_loss_;
+}
+
+}  // namespace abg::net

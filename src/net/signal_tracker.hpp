@@ -1,0 +1,48 @@
+// Sender-side signal measurement: smoothed RTT, min/max RTT, EWMA delivery
+// rate, and smoothed RTT gradient. One tracker instance is shared by the
+// ground-truth CCA and the recorded trace, matching the paper's stance that
+// Abagnale supplies its own congestion-signal definitions (§5.4).
+#pragma once
+
+#include "cca/signals.hpp"
+
+namespace abg::net {
+
+class SignalTracker {
+ public:
+  // Record an RTT sample taken at time `now`.
+  void on_rtt_sample(double rtt, double now);
+  // Record `acked_bytes` of newly acknowledged data at time `now`.
+  void on_delivery(double acked_bytes, double now);
+  // Record a loss determination at time `now`, with the window held at the
+  // moment of loss (becomes the "wmax" signal).
+  void on_loss(double now, double cwnd_at_loss = 0.0);
+
+  // Fill the measurement-derived fields of a Signals snapshot.
+  void fill(cca::Signals& sig, double now) const;
+
+  double srtt() const { return srtt_; }
+  double min_rtt() const { return min_rtt_; }
+  double ack_rate() const { return ack_rate_; }
+
+ private:
+  static constexpr double kSrttAlpha = 1.0 / 8.0;
+  static constexpr double kRateAlpha = 0.1;
+  static constexpr double kGradAlpha = 0.2;
+
+  double last_rtt_ = 0.0;
+  double srtt_ = 0.0;
+  double min_rtt_ = 0.0;
+  double max_rtt_ = 0.0;
+  double prev_rtt_ = 0.0;
+  double prev_rtt_time_ = -1.0;
+  double rtt_gradient_ = 0.0;
+
+  double ack_rate_ = 0.0;
+  double last_delivery_time_ = -1.0;
+
+  double last_loss_time_ = 0.0;
+  double cwnd_at_loss_ = 0.0;
+};
+
+}  // namespace abg::net

@@ -1,0 +1,49 @@
+// Single-flow connection simulator: a CWND-driven sender behind a bottleneck
+// link, a cumulative-ACK receiver, fast retransmit on triple duplicate ACKs,
+// and a coarse retransmission timeout. This is the trace-collection testbed
+// substitute (§3.2): RTT and bandwidth are the Environment knobs, and every
+// ACK arrival at the sender is recorded as an AckSample.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "cca/cca.hpp"
+#include "net/event_queue.hpp"
+#include "net/link.hpp"
+#include "net/receiver.hpp"
+#include "net/signal_tracker.hpp"
+#include "trace/trace.hpp"
+
+namespace abg::net {
+
+struct SimOptions {
+  double mss_bytes = 1448.0;
+  double initial_cwnd_pkts = 10.0;
+  // RTO as a multiple of SRTT (floor 200 ms): crude but prevents deadlock
+  // when an entire window is lost.
+  double rto_srtt_multiplier = 2.0;
+  double rto_floor_s = 0.2;
+};
+
+// Run one connection of `env.duration_s` seconds with the given CCA and
+// return the collected trace. Deterministic given env.seed.
+trace::Trace run_connection(cca::CcaInterface& cca, const trace::Environment& env,
+                            const SimOptions& opts = {});
+
+// Convenience: instantiate the CCA by name from the registry.
+trace::Trace run_connection(const std::string& cca_name, const trace::Environment& env,
+                            const SimOptions& opts = {});
+
+// The paper's testbed sweep: `count` environments spanning RTT 10-100 ms and
+// bandwidth 5-15 Mbps (grid order, seeds derived from `seed`).
+std::vector<trace::Environment> default_environments(std::size_t count = 6,
+                                                     std::uint64_t seed = 1);
+
+// Collect one trace per environment for the named CCA.
+std::vector<trace::Trace> collect_traces(const std::string& cca_name,
+                                         const std::vector<trace::Environment>& envs,
+                                         const SimOptions& opts = {});
+
+}  // namespace abg::net

@@ -1,0 +1,69 @@
+#include "synth/buckets.hpp"
+
+#include <algorithm>
+
+namespace abg::synth {
+
+namespace {
+
+bool is_comparison(dsl::Op o) {
+  return o == dsl::Op::kLt || o == dsl::Op::kGt || o == dsl::Op::kModEq;
+}
+
+bool feasible(const std::vector<dsl::Op>& ops) {
+  const bool has_cmp = std::any_of(ops.begin(), ops.end(), is_comparison);
+  const bool has_cond =
+      std::find(ops.begin(), ops.end(), dsl::Op::kCond) != ops.end();
+  if (has_cmp && !has_cond) return false;
+  if (has_cond && !has_cmp) return false;
+  return true;
+}
+
+std::vector<dsl::Op> sorted(std::vector<dsl::Op> ops) {
+  std::sort(ops.begin(), ops.end());
+  return ops;
+}
+
+}  // namespace
+
+std::string bucket_label(const std::vector<dsl::Op>& ops) {
+  std::string label = "{";
+  const auto s = sorted(ops);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) label += ',';
+    label += dsl::op_name(s[i]);
+  }
+  label += '}';
+  return label;
+}
+
+bool same_ops(const std::vector<dsl::Op>& a, const std::vector<dsl::Op>& b) {
+  return sorted(a) == sorted(b);
+}
+
+std::vector<Bucket> make_buckets(const dsl::Dsl& dsl) {
+  std::vector<Bucket> buckets;
+  const auto& ops = dsl.ops;
+  const std::size_t n = ops.size();
+  for (std::size_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<dsl::Op> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) subset.push_back(ops[i]);
+    }
+    if (!feasible(subset)) continue;
+    Bucket b;
+    b.label = bucket_label(subset);
+    b.ops = sorted(std::move(subset));
+    buckets.push_back(std::move(b));
+  }
+  return buckets;
+}
+
+Bucket bucket_of(const dsl::Expr& sketch) {
+  Bucket b;
+  b.ops = sorted(dsl::ops_used(sketch));
+  b.label = bucket_label(b.ops);
+  return b;
+}
+
+}  // namespace abg::synth

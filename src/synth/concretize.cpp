@@ -1,0 +1,55 @@
+#include "synth/concretize.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace abg::synth {
+
+double completion_count(const dsl::Expr& sketch, std::size_t pool_size) {
+  return std::pow(static_cast<double>(pool_size), dsl::hole_count(sketch));
+}
+
+std::vector<std::vector<double>> enumerate_assignments(const dsl::Expr& sketch,
+                                                       const std::vector<double>& pool,
+                                                       const ConcretizeOptions& opts,
+                                                       util::Rng& rng) {
+  const int holes = dsl::hole_count(sketch);
+  std::vector<std::vector<double>> out;
+  if (holes == 0 || pool.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  const double total = completion_count(sketch, pool.size());
+  if (total <= static_cast<double>(opts.budget)) {
+    // Full cartesian product, odometer-style.
+    std::vector<std::size_t> idx(static_cast<std::size_t>(holes), 0);
+    for (;;) {
+      std::vector<double> assign(static_cast<std::size_t>(holes));
+      for (std::size_t i = 0; i < idx.size(); ++i) assign[i] = pool[idx[i]];
+      out.push_back(std::move(assign));
+      std::size_t pos = 0;
+      while (pos < idx.size() && ++idx[pos] == pool.size()) {
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == idx.size()) break;
+    }
+    return out;
+  }
+  // Random sample without replacement.
+  std::unordered_set<std::size_t> seen;
+  while (out.size() < opts.budget) {
+    std::vector<double> assign(static_cast<std::size_t>(holes));
+    std::size_t key = 0;
+    for (auto& a : assign) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+      a = pool[pick];
+      key = key * pool.size() + pick;
+    }
+    if (seen.insert(key).second) out.push_back(std::move(assign));
+  }
+  return out;
+}
+
+}  // namespace abg::synth

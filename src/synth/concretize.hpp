@@ -1,0 +1,32 @@
+// Approximate sketch concretization (§4.2): holes take values only from the
+// DSL's curated constant pool. Small hole counts get the full cartesian
+// product; larger ones get a random sample of assignments, keeping the work
+// per sketch bounded (the paper's answer to the k^n blowup).
+#pragma once
+
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "dsl/expr.hpp"
+#include "util/rng.hpp"
+
+namespace abg::synth {
+
+struct ConcretizeOptions {
+  // Maximum number of concrete handlers generated per sketch.
+  std::size_t budget = 64;
+};
+
+// All constant assignments for the sketch's holes, capped at opts.budget
+// (random sample without replacement when the cartesian product exceeds
+// it). A sketch with no holes yields one empty assignment.
+std::vector<std::vector<double>> enumerate_assignments(const dsl::Expr& sketch,
+                                                       const std::vector<double>& pool,
+                                                       const ConcretizeOptions& opts,
+                                                       util::Rng& rng);
+
+// Number of concrete handlers a sketch expands to with this pool (the
+// "completions" count of §6.1), uncapped.
+double completion_count(const dsl::Expr& sketch, std::size_t pool_size);
+
+}  // namespace abg::synth

@@ -1,0 +1,89 @@
+#include "synth/event_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsl/eval.hpp"
+#include "synth/concretize.hpp"
+#include "synth/enumerator.hpp"
+
+namespace abg::synth {
+
+std::vector<double> replay_trace(const dsl::Expr& ack_handler, const dsl::Expr& loss_handler,
+                                 const trace::Trace& t, const ReplayOptions& opts) {
+  std::vector<double> out;
+  out.reserve(t.samples.size());
+  if (t.samples.empty()) return out;
+
+  double cwnd = t.samples.front().sig.cwnd;
+  const double mss = t.samples.front().sig.mss > 0 ? t.samples.front().sig.mss : 1.0;
+  auto step = [&](const dsl::Expr& handler, const trace::AckSample& sample) {
+    cca::Signals sig = sample.sig;
+    sig.cwnd = cwnd;
+    const double next = dsl::eval(handler, sig);
+    if (std::isfinite(next)) {
+      cwnd = std::clamp(next, opts.min_cwnd_pkts * mss, opts.max_cwnd_pkts * mss);
+    }
+  };
+  for (const auto& sample : t.samples) {
+    if (sample.loss_event) {
+      step(loss_handler, sample);
+    } else if (!sample.is_dup && sample.sig.acked_bytes > 0) {
+      step(ack_handler, sample);
+    }
+    out.push_back(cwnd / mss);
+  }
+  return out;
+}
+
+double trace_distance(const dsl::Expr& ack_handler, const dsl::Expr& loss_handler,
+                      const trace::Trace& t, distance::Metric metric,
+                      const distance::DistanceOptions& dopts) {
+  const auto synth = replay_trace(ack_handler, loss_handler, t);
+  std::vector<double> observed;
+  observed.reserve(t.samples.size());
+  for (const auto& s : t.samples) {
+    const double mss = s.sig.mss > 0 ? s.sig.mss : 1.0;
+    observed.push_back(s.cwnd_after / mss);
+  }
+  return distance::compute(metric, synth, observed, dopts);
+}
+
+LossSynthesisResult synthesize_loss_handler(const dsl::Dsl& dsl, const dsl::Expr& ack_handler,
+                                            const std::vector<trace::Trace>& traces,
+                                            const LossSynthesisOptions& opts) {
+  LossSynthesisResult result;
+  result.distance = std::numeric_limits<double>::infinity();
+
+  EnumeratorOptions eopts;
+  eopts.unit_check = opts.unit_check;
+  eopts.max_depth = opts.max_depth;
+  eopts.max_nodes = opts.max_nodes;
+  eopts.max_holes = opts.max_holes;
+  SketchEnumerator enumerator(dsl, eopts);
+
+  util::Rng rng(opts.seed);
+  ConcretizeOptions copts;
+  copts.budget = opts.concretize_budget;
+
+  while (result.sketches_tried < opts.max_sketches) {
+    auto sketch = enumerator.next();
+    if (!sketch) break;
+    ++result.sketches_tried;
+    for (const auto& assign : enumerate_assignments(**sketch, dsl.constant_pool, copts, rng)) {
+      const auto handler = dsl::fill_holes(*sketch, assign);
+      ++result.handlers_tried;
+      double d = 0.0;
+      for (const auto& t : traces) {
+        d += trace_distance(ack_handler, *handler, t, opts.metric, opts.dopts);
+      }
+      if (d < result.distance) {
+        result.distance = d;
+        result.handler = handler;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace abg::synth

@@ -1,0 +1,59 @@
+#include "synth/mister880.hpp"
+
+#include <cmath>
+
+#include "synth/concretize.hpp"
+#include "synth/replay.hpp"
+
+namespace abg::synth {
+
+bool exact_match(const dsl::Expr& handler, const trace::Segment& segment, double tolerance) {
+  const auto synth = replay(handler, segment);
+  const auto observed = observed_series_pkts(segment);
+  if (synth.size() != observed.size()) return false;
+  for (std::size_t i = 0; i < synth.size(); ++i) {
+    const double scale = std::max(std::fabs(observed[i]), 1.0);
+    if (std::fabs(synth[i] - observed[i]) > tolerance * scale) return false;
+  }
+  return true;
+}
+
+Mister880Result mister880_synthesize(const dsl::Dsl& dsl,
+                                     const std::vector<trace::Segment>& segments,
+                                     const Mister880Options& opts) {
+  Mister880Result result;
+  EnumeratorOptions eopts;
+  eopts.unit_check = opts.unit_check;
+  eopts.max_depth = opts.max_depth;
+  eopts.max_nodes = opts.max_nodes;
+  eopts.max_holes = opts.max_holes;
+  SketchEnumerator enumerator(dsl, eopts);
+
+  util::Rng rng(opts.seed);
+  ConcretizeOptions copts;
+  copts.budget = opts.concretize_budget;
+
+  while (result.sketches_tried < opts.max_sketches) {
+    auto sketch = enumerator.next();
+    if (!sketch) break;  // space exhausted: decision search failed
+    ++result.sketches_tried;
+    for (const auto& assign : enumerate_assignments(**sketch, dsl.constant_pool, copts, rng)) {
+      const auto handler = dsl::fill_holes(*sketch, assign);
+      ++result.handlers_tried;
+      bool all_match = true;
+      for (const auto& seg : segments) {
+        if (!exact_match(*handler, seg, opts.match_tolerance)) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) {
+        result.handler = handler;
+        return result;  // first exact solution wins (decision semantics)
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace abg::synth

@@ -1,0 +1,264 @@
+#include "synth/refinement.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "synth/replay.hpp"
+#include "trace/sampler.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abg::synth {
+
+namespace {
+
+// Mutable per-bucket search state kept across iterations.
+struct BucketState {
+  Bucket bucket;
+  std::unique_ptr<SketchEnumerator> enumerator;  // created on first use
+  std::vector<dsl::ExprPtr> sketches;            // enumerated so far
+  ScoredHandler best;                            // best under the *current* segment set
+  std::size_t handlers_scored = 0;
+  bool exhausted = false;
+  util::Rng rng{0};
+};
+
+std::uint64_t label_seed(const std::string& label, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  for (char c : label) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
+
+ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
+                           const std::vector<trace::Segment>& segments,
+                           const std::vector<double>& constant_pool,
+                           const SynthesisOptions& opts, util::Rng& rng,
+                           std::size_t* handlers_scored) {
+  ScoredHandler best;
+  best.sketch = sketch;
+  ConcretizeOptions copts;
+  copts.budget = opts.concretize_budget;
+  const auto assignments = enumerate_assignments(*sketch, constant_pool, copts, rng);
+  for (const auto& assign : assignments) {
+    const auto handler = dsl::fill_holes(sketch, assign);
+    const double d = total_distance(*handler, segments, opts.metric, opts.dopts);
+    if (handlers_scored) ++*handlers_scored;
+    if (d < best.distance) {
+      best.distance = d;
+      best.handler = handler;
+    }
+  }
+  return best;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> SynthesisResult::bucket_rank(
+    const std::string& label, std::size_t iter) const {
+  if (iter >= iterations.size()) return std::nullopt;
+  const auto& buckets = iterations[iter].buckets;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].label == label) return std::make_pair(i + 1, buckets.size());
+  }
+  return std::nullopt;
+}
+
+SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment>& segments,
+                           const SynthesisOptions& opts) {
+  util::Stopwatch total_clock;
+  SynthesisResult result;
+
+  // --- Bucketize the space (§4.4). -----------------------------------------
+  std::vector<BucketState> states;
+  for (auto& b : make_buckets(dsl)) {
+    BucketState st;
+    st.bucket = std::move(b);
+    st.rng = util::Rng(label_seed(st.bucket.label, opts.seed));
+    states.push_back(std::move(st));
+  }
+  result.initial_buckets = states.size();
+
+  // --- Segment working set (§3.2). -----------------------------------------
+  const auto seg_distance = [&](const trace::Segment& a, const trace::Segment& b) {
+    return distance::compute(opts.metric, observed_series_pkts(a), observed_series_pkts(b),
+                             opts.dopts);
+  };
+  trace::SegmentSampler sampler(&segments, seg_distance, opts.seed ^ 0x5e95a1d3);
+  sampler.grow_to(static_cast<std::size_t>(opts.initial_segments));
+
+  util::ThreadPool pool(opts.threads == 0 ? std::thread::hardware_concurrency() : opts.threads);
+  std::mutex best_mu;
+  std::vector<ScoredHandler> candidates;  // every bucket-best ever seen
+
+  int n = opts.initial_samples;
+  int k = opts.initial_keep;
+  std::vector<std::size_t> live(states.size());
+  for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+
+  auto make_enumerator = [&](BucketState& st) {
+    EnumeratorOptions eopts;
+    eopts.unit_check = opts.unit_check;
+    eopts.bucket = st.bucket.ops;
+    eopts.max_holes = opts.max_holes;
+    eopts.max_depth = opts.max_depth;
+    eopts.max_nodes = opts.max_nodes;
+    st.enumerator = std::make_unique<SketchEnumerator>(dsl, eopts);
+  };
+
+  // Score every enumerated sketch of `st` against the current working set;
+  // updates st.best and the global best. Respects the global timeout: when
+  // past the deadline, stops enumerating and scoring but keeps what it has
+  // (the loop always returns the best handler found so far, §4.4).
+  auto past_deadline = [&] { return total_clock.elapsed_seconds() > opts.timeout_s; };
+  auto score_bucket = [&](BucketState& st, std::size_t target,
+                          const std::vector<trace::Segment>& working) {
+    if (!st.enumerator && !st.exhausted) make_enumerator(st);
+    // Always enumerate at least one sketch so an expired budget still
+    // returns the best handler seen (§4.4's interrupt semantics).
+    while (st.sketches.size() < target && !st.exhausted &&
+           (st.sketches.empty() || !past_deadline())) {
+      auto s = st.enumerator->next();
+      if (!s) {
+        st.exhausted = true;
+        break;
+      }
+      st.sketches.push_back(std::move(*s));
+    }
+    // Re-score all sketches under the (possibly grown) segment set, as
+    // Algorithm 1 line 5 does.
+    ScoredHandler bucket_best;
+    for (const auto& sk : st.sketches) {
+      auto scored = score_sketch(sk, working, dsl.constant_pool, opts, st.rng,
+                                 &st.handlers_scored);
+      if (scored.distance < bucket_best.distance) bucket_best = scored;
+      if (past_deadline() && bucket_best.valid()) break;
+    }
+    st.best = bucket_best;
+    if (bucket_best.valid()) {
+      std::lock_guard lk(best_mu);
+      if (bucket_best.distance < result.best.distance) result.best = bucket_best;
+      candidates.push_back(bucket_best);
+    }
+  };
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    if (live.empty()) break;
+    util::Stopwatch iter_clock;
+
+    std::vector<trace::Segment> working;
+    for (std::size_t idx : sampler.selected()) working.push_back(segments[idx]);
+    if (working.empty()) working = segments;  // tiny pools: use everything
+
+    // Parallel bucket scoring (line 3 of Algorithm 1).
+    pool.parallel_for(live.size(), [&](std::size_t i) {
+      score_bucket(states[live[i]], static_cast<std::size_t>(n), working);
+    });
+
+    // Rank buckets by score.
+    std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+      return states[a].best.distance < states[b].best.distance;
+    });
+
+    IterationReport report;
+    report.n_target = n;
+    report.keep = k;
+    report.segments_used = working.size();
+    for (std::size_t idx : live) {
+      BucketReport br;
+      br.label = states[idx].bucket.label;
+      br.score = states[idx].best.distance;
+      br.sketches_enumerated = states[idx].sketches.size();
+      br.handlers_scored = states[idx].handlers_scored;
+      br.exhausted = states[idx].exhausted;
+      report.buckets.push_back(std::move(br));
+    }
+
+    // only-top-k with ties (§4.4): retain buckets whose score <= k-th score.
+    if (static_cast<std::size_t>(k) < live.size()) {
+      const double kth = states[live[static_cast<std::size_t>(k) - 1]].best.distance;
+      std::size_t cut = live.size();
+      for (std::size_t i = static_cast<std::size_t>(k); i < live.size(); ++i) {
+        if (states[live[i]].best.distance > kth) {
+          cut = i;
+          break;
+        }
+      }
+      live.resize(cut);
+    }
+    for (auto& br : report.buckets) {
+      br.retained = std::any_of(live.begin(), live.end(), [&](std::size_t idx) {
+        return states[idx].bucket.label == br.label;
+      });
+    }
+    report.seconds = iter_clock.elapsed_seconds();
+    result.iterations.push_back(std::move(report));
+
+    ABG_INFO("iter %d: %zu buckets live, N=%d, best=%.3f (%s)", iter, live.size(), n,
+             result.best.distance,
+             result.best.valid() ? dsl::to_string(*result.best.handler).c_str() : "-");
+
+    if (total_clock.elapsed_seconds() > opts.timeout_s) {
+      result.timed_out = true;
+      break;
+    }
+
+    // Stop when every live bucket is already exhausted.
+    const bool all_done = std::all_of(live.begin(), live.end(), [&](std::size_t idx) {
+      return states[idx].exhausted;
+    });
+    if (all_done) break;
+
+    // Terminal exhaustive phase: one bucket left.
+    if (live.size() == 1) {
+      std::vector<trace::Segment> final_working;
+      for (std::size_t idx : sampler.selected()) final_working.push_back(segments[idx]);
+      score_bucket(states[live[0]], opts.exhaustive_cap, final_working);
+      break;
+    }
+
+    n *= opts.sample_growth;                         // line 9
+    k = std::max(k / 2, 1);                          // line 10
+    sampler.grow_to(sampler.selected().size() + 2);  // "+2 traces" (§4.4)
+  }
+
+  // --- Final validation: re-rank every candidate on a larger diverse
+  // segment sample, so a handler over-fit to the small working set cannot
+  // win (§3.2).
+  if (!candidates.empty() && !segments.empty()) {
+    sampler.grow_to(opts.final_validation_segments);
+    std::vector<trace::Segment> validation;
+    for (std::size_t idx : sampler.selected()) validation.push_back(segments[idx]);
+    // Deduplicate candidates by rendered handler.
+    std::vector<ScoredHandler> unique;
+    std::vector<std::size_t> hashes;
+    for (const auto& c : candidates) {
+      const std::size_t h = dsl::hash_expr(*c.handler);
+      if (std::find(hashes.begin(), hashes.end(), h) != hashes.end()) continue;
+      hashes.push_back(h);
+      unique.push_back(c);
+    }
+    result.candidates_validated = unique.size();
+    std::mutex val_mu;
+    ScoredHandler winner;
+    pool.parallel_for(unique.size(), [&](std::size_t i) {
+      const double d = total_distance(*unique[i].handler, validation, opts.metric, opts.dopts);
+      std::lock_guard lk(val_mu);
+      if (d < winner.distance) {
+        winner = unique[i];
+        winner.distance = d;
+      }
+    });
+    if (winner.valid()) result.best = winner;
+  }
+
+  for (const auto& st : states) {
+    result.total_sketches += st.sketches.size();
+    result.total_handlers_scored += st.handlers_scored;
+  }
+  result.seconds = total_clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace abg::synth

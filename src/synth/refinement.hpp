@@ -1,0 +1,113 @@
+// The synthesis refinement loop (§4.4, Algorithm 1):
+//
+//   while buckets not exhausted:
+//     for each bucket (in parallel): sample N sketches, score them,
+//       bucket-score = min distance over concretized handlers
+//     keep only the top-k buckets; N *= 8; k /= 2; working segments += 2
+//
+// Every iteration is recorded in an IterationReport so the §6.1 / §6.2 /
+// Table 4 accounting (bucket ranks, handlers scored, space explored) can be
+// reproduced from a single synthesis run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distance/distance.hpp"
+#include "dsl/dsl.hpp"
+#include "dsl/expr.hpp"
+#include "synth/buckets.hpp"
+#include "synth/concretize.hpp"
+#include "synth/enumerator.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace abg::synth {
+
+struct SynthesisOptions {
+  distance::Metric metric = distance::Metric::kDtw;
+  distance::DistanceOptions dopts;
+
+  int initial_samples = 16;       // N in Algorithm 1
+  int initial_keep = 5;           // k in Algorithm 1
+  int initial_segments = 4;       // working-set size, grows by 2 per iteration
+  // After the loop, every bucket-best candidate handler is re-scored on a
+  // larger diverse segment sample; the returned handler is the best under
+  // that validation set. This is the guard against over-fitting a small
+  // working set (§3.2's concern, applied at the end as well).
+  std::size_t final_validation_segments = 12;
+  int sample_growth = 8;          // N multiplier per iteration
+  std::size_t concretize_budget = 48;  // handlers per sketch (§4.2)
+  int max_iterations = 6;
+  double timeout_s = std::numeric_limits<double>::infinity();
+  std::size_t exhaustive_cap = 4000;  // sketch cap when finishing a bucket
+
+  bool unit_check = true;
+  int max_holes = 4;
+  std::optional<int> max_depth;  // override the DSL's bound
+  std::optional<int> max_nodes;
+
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 7;
+};
+
+struct ScoredHandler {
+  dsl::ExprPtr sketch;   // with holes
+  dsl::ExprPtr handler;  // concrete
+  double distance = std::numeric_limits<double>::infinity();
+
+  bool valid() const { return handler != nullptr; }
+};
+
+struct BucketReport {
+  std::string label;
+  double score = std::numeric_limits<double>::infinity();
+  std::size_t sketches_enumerated = 0;
+  std::size_t handlers_scored = 0;
+  bool exhausted = false;
+  bool retained = false;
+};
+
+struct IterationReport {
+  int n_target = 0;              // N for this iteration
+  int keep = 0;                  // k for this iteration
+  std::size_t segments_used = 0;
+  std::vector<BucketReport> buckets;  // sorted by ascending score
+  double seconds = 0.0;
+};
+
+struct SynthesisResult {
+  ScoredHandler best;  // distance is over the final validation set
+  std::vector<IterationReport> iterations;
+  std::size_t candidates_validated = 0;
+  std::size_t initial_buckets = 0;
+  std::size_t total_sketches = 0;
+  std::size_t total_handlers_scored = 0;
+  bool timed_out = false;
+  double seconds = 0.0;
+
+  // Rank (1-based) of the bucket with the given label after iteration
+  // `iter` (0-based), and the number of buckets scored in that iteration —
+  // the "pos. after iteration i" cells of Table 4. nullopt if the bucket
+  // was not scored in that iteration (already discarded).
+  std::optional<std::pair<std::size_t, std::size_t>> bucket_rank(const std::string& label,
+                                                                 std::size_t iter) const;
+};
+
+// Score one sketch against a working set of segments: concretize (§4.2),
+// replay every handler, return the best. `handlers_scored` is incremented
+// by the number of concrete handlers evaluated.
+ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
+                           const std::vector<trace::Segment>& segments,
+                           const std::vector<double>& constant_pool,
+                           const SynthesisOptions& opts, util::Rng& rng,
+                           std::size_t* handlers_scored = nullptr);
+
+// Run the full refinement loop over the DSL and segment pool.
+SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment>& segments,
+                           const SynthesisOptions& opts = {});
+
+}  // namespace abg::synth

@@ -1,0 +1,58 @@
+#include "synth/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsl/eval.hpp"
+
+namespace abg::synth {
+
+std::vector<double> replay(const dsl::Expr& handler, const trace::Segment& segment,
+                           const ReplayOptions& opts) {
+  std::vector<double> out;
+  out.reserve(segment.samples.size());
+  if (segment.samples.empty()) return out;
+
+  double cwnd = segment.samples.front().sig.cwnd;  // start from the observed window
+  const double mss = segment.samples.front().sig.mss > 0 ? segment.samples.front().sig.mss : 1.0;
+  for (const auto& sample : segment.samples) {
+    if (!sample.is_dup && sample.sig.acked_bytes > 0) {
+      cca::Signals sig = sample.sig;  // observed inputs...
+      sig.cwnd = cwnd;                // ...but the candidate's own state
+      const double next = dsl::eval(handler, sig);
+      if (std::isfinite(next)) {
+        cwnd = std::clamp(next, opts.min_cwnd_pkts * mss, opts.max_cwnd_pkts * mss);
+      }
+    }
+    out.push_back(cwnd / mss);
+  }
+  return out;
+}
+
+std::vector<double> observed_series_pkts(const trace::Segment& segment) {
+  std::vector<double> out;
+  out.reserve(segment.samples.size());
+  for (const auto& s : segment.samples) {
+    const double mss = s.sig.mss > 0 ? s.sig.mss : 1.0;
+    out.push_back(s.cwnd_after / mss);
+  }
+  return out;
+}
+
+double segment_distance(const dsl::Expr& handler, const trace::Segment& segment,
+                        distance::Metric metric, const distance::DistanceOptions& dopts,
+                        const ReplayOptions& ropts) {
+  const auto synth = replay(handler, segment, ropts);
+  const auto observed = observed_series_pkts(segment);
+  return distance::compute(metric, synth, observed, dopts);
+}
+
+double total_distance(const dsl::Expr& handler, const std::vector<trace::Segment>& segments,
+                      distance::Metric metric, const distance::DistanceOptions& dopts,
+                      const ReplayOptions& ropts) {
+  double sum = 0.0;
+  for (const auto& seg : segments) sum += segment_distance(handler, seg, metric, dopts, ropts);
+  return sum;
+}
+
+}  // namespace abg::synth

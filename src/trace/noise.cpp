@@ -1,0 +1,34 @@
+#include "trace/noise.hpp"
+
+#include <algorithm>
+
+namespace abg::trace {
+
+Trace add_noise(const Trace& clean, const NoiseConfig& cfg, util::Rng& rng) {
+  Trace noisy;
+  noisy.cca_name = clean.cca_name;
+  noisy.env = clean.env;
+  noisy.samples.reserve(clean.samples.size());
+  double prev_time = -1.0;
+  for (const auto& s : clean.samples) {
+    if (cfg.drop_sample_prob > 0 && rng.chance(cfg.drop_sample_prob)) continue;
+    AckSample n = s;
+    if (cfg.rtt_jitter_frac > 0) {
+      const double f = 1.0 + rng.uniform(-cfg.rtt_jitter_frac, cfg.rtt_jitter_frac);
+      n.sig.rtt = std::max(n.sig.rtt * f, 1e-6);
+    }
+    if (cfg.cwnd_noise_frac > 0) {
+      const double f = 1.0 + rng.uniform(-cfg.cwnd_noise_frac, cfg.cwnd_noise_frac);
+      n.cwnd_after = std::max(n.cwnd_after * f, n.sig.mss);
+    }
+    if (cfg.time_jitter_s > 0) {
+      n.sig.now += rng.uniform(-cfg.time_jitter_s, cfg.time_jitter_s);
+      n.sig.now = std::max(n.sig.now, prev_time + 1e-9);
+    }
+    prev_time = n.sig.now;
+    noisy.samples.push_back(n);
+  }
+  return noisy;
+}
+
+}  // namespace abg::trace

@@ -1,0 +1,24 @@
+// Measurement-noise injection. Traces collected "in the wild" differ from
+// clean simulator output: the vantage point misses ACKs, delays are jittered,
+// and the inferred CWND is only approximate (§2.2, "Noise"). This module
+// perturbs clean traces so the pipeline's noise tolerance can be evaluated —
+// the setting where a decision-problem synthesizer (Mister880) breaks down.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace abg::trace {
+
+struct NoiseConfig {
+  double drop_sample_prob = 0.0;   // fraction of ACK samples unobserved
+  double rtt_jitter_frac = 0.0;    // multiplicative RTT noise, uniform +/- frac
+  double cwnd_noise_frac = 0.0;    // multiplicative CWND estimate noise
+  double time_jitter_s = 0.0;      // additive timestamp jitter (uniform +/-)
+};
+
+// Returns a perturbed copy of the trace. Monotonicity of timestamps is
+// preserved (jitter is clamped against the previous sample).
+Trace add_noise(const Trace& clean, const NoiseConfig& cfg, util::Rng& rng);
+
+}  // namespace abg::trace

@@ -1,0 +1,57 @@
+#include "trace/sampler.hpp"
+
+#include <algorithm>
+
+namespace abg::trace {
+
+SegmentSampler::SegmentSampler(const std::vector<Segment>* segments, SegmentDistance dist,
+                               std::uint64_t seed)
+    : segments_(segments), dist_(std::move(dist)), rng_(seed) {}
+
+bool SegmentSampler::is_selected(std::size_t idx) const {
+  return std::find(selected_.begin(), selected_.end(), idx) != selected_.end();
+}
+
+std::vector<std::size_t> SegmentSampler::unselected() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < segments_->size(); ++i) {
+    if (!is_selected(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void SegmentSampler::grow_to(std::size_t count) {
+  count = std::min(count, segments_->size());
+  while (selected_.size() < count) {
+    auto pool = unselected();
+    if (pool.empty()) return;
+    // Random pick.
+    const std::size_t r =
+        pool[static_cast<std::size_t>(rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    selected_.push_back(r);
+    if (selected_.size() >= count) return;
+    // Farthest-from-r pick among the remaining pool.
+    pool = unselected();
+    if (pool.empty()) return;
+    std::size_t best = pool.front();
+    double best_d = -1.0;
+    for (std::size_t cand : pool) {
+      const double d = dist_((*segments_)[r], (*segments_)[cand]);
+      if (d > best_d) {
+        best_d = d;
+        best = cand;
+      }
+    }
+    selected_.push_back(best);
+  }
+}
+
+std::vector<std::size_t> select_diverse_segments(const std::vector<Segment>& segments,
+                                                 std::size_t count, const SegmentDistance& dist,
+                                                 util::Rng& rng) {
+  SegmentSampler sampler(&segments, dist, rng.next_u64());
+  sampler.grow_to(count);
+  return sampler.selected();
+}
+
+}  // namespace abg::trace

@@ -1,0 +1,48 @@
+// Diversity-greedy segment selection (§3.2): given the pool of trace
+// segments, pick half the requested count uniformly at random, then for each
+// random pick add the unpicked segment *farthest* from it under the supplied
+// distance. This biases the working set toward covering distinct network
+// conditions, which is what prevents handlers that overfit a single trace
+// (e.g. the constant-BDP handler).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace abg::trace {
+
+using SegmentDistance = std::function<double(const Segment&, const Segment&)>;
+
+// Returns indices into `segments` of the selected working set, size
+// min(count, segments.size()). Deterministic given the Rng state.
+std::vector<std::size_t> select_diverse_segments(const std::vector<Segment>& segments,
+                                                 std::size_t count, const SegmentDistance& dist,
+                                                 util::Rng& rng);
+
+// Incremental version used by the refinement loop: keeps previously selected
+// indices and grows the set to `count` with the same half-random /
+// half-farthest policy applied to the new picks only.
+class SegmentSampler {
+ public:
+  SegmentSampler(const std::vector<Segment>* segments, SegmentDistance dist, std::uint64_t seed);
+
+  // Grow the selection to `count` segments (no-op if already that large).
+  void grow_to(std::size_t count);
+
+  const std::vector<std::size_t>& selected() const { return selected_; }
+
+ private:
+  bool is_selected(std::size_t idx) const;
+  std::vector<std::size_t> unselected() const;
+
+  const std::vector<Segment>* segments_;
+  SegmentDistance dist_;
+  util::Rng rng_;
+  std::vector<std::size_t> selected_;
+};
+
+}  // namespace abg::trace

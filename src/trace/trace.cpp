@@ -1,0 +1,116 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+
+namespace abg::trace {
+
+std::string Environment::label() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.1fMbps_%.0fms_loss%.3f_seed%llu", bandwidth_bps / 1e6,
+                rtt_s * 1e3, random_loss, static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::vector<double> Trace::cwnd_series() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.cwnd_after);
+  return out;
+}
+
+std::vector<double> Trace::time_series() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.sig.now);
+  return out;
+}
+
+std::vector<double> Segment::cwnd_series() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.cwnd_after);
+  return out;
+}
+
+std::vector<double> Segment::time_series() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.sig.now);
+  return out;
+}
+
+Trace trim_warmup(const Trace& t, double warmup_s) {
+  Trace out;
+  out.cca_name = t.cca_name;
+  out.env = t.env;
+  for (const auto& s : t.samples) {
+    if (s.sig.now >= warmup_s) out.samples.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::size_t> infer_loss_events(const Trace& trace) {
+  std::vector<std::size_t> events;
+  int dup_run = 0;
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    const auto& s = trace.samples[i];
+    if (s.is_dup) {
+      ++dup_run;
+      if (dup_run == 3) events.push_back(i);  // triple-duplicate-ACK
+    } else {
+      dup_run = 0;
+    }
+  }
+  return events;
+}
+
+namespace {
+
+std::vector<std::size_t> loss_points(const Trace& trace, bool use_recorded) {
+  if (!use_recorded) return infer_loss_events(trace);
+  std::vector<std::size_t> events;
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    if (trace.samples[i].loss_event) events.push_back(i);
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<Segment> segment_trace(const Trace& trace, std::size_t min_samples,
+                                   bool use_recorded_events) {
+  std::vector<Segment> segments;
+  const auto events = loss_points(trace, use_recorded_events);
+  std::size_t start = 0;
+  auto flush = [&](std::size_t end) {  // [start, end)
+    if (end - start >= min_samples) {
+      Segment seg;
+      seg.cca_name = trace.cca_name;
+      seg.env = trace.env;
+      seg.first_index = start;
+      seg.samples.assign(trace.samples.begin() + static_cast<std::ptrdiff_t>(start),
+                         trace.samples.begin() + static_cast<std::ptrdiff_t>(end));
+      segments.push_back(std::move(seg));
+    }
+  };
+  for (std::size_t e : events) {
+    flush(e);
+    start = e + 1;
+  }
+  flush(trace.samples.size());
+  return segments;
+}
+
+std::vector<Segment> segment_all(const std::vector<Trace>& traces, std::size_t min_samples,
+                                 bool skip_first) {
+  std::vector<Segment> all;
+  for (const auto& t : traces) {
+    auto segs = segment_trace(t, min_samples);
+    for (std::size_t i = skip_first && segs.size() > 1 ? 1 : 0; i < segs.size(); ++i) {
+      all.push_back(std::move(segs[i]));
+    }
+  }
+  return all;
+}
+
+}  // namespace abg::trace

@@ -1,0 +1,89 @@
+// Packet-trace representation. A Trace is the time series of per-ACK
+// measurements collected from a connection (our analogue of a pcap processed
+// into CWND/RTT/rate series, the input format of §3.1), plus the metadata of
+// the network environment it was collected under.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cca/signals.hpp"
+
+namespace abg::trace {
+
+// One ACK arrival as seen from the measurement vantage point.
+struct AckSample {
+  cca::Signals sig;           // signal snapshot fed to the handler
+  double cwnd_after = 0.0;    // CWND after the CCA's update (the observable)
+  double ack_seq = 0.0;       // cumulative ACK number, bytes
+  bool is_dup = false;        // duplicate ACK (no new data acknowledged)
+  bool loss_event = false;    // sender-side loss determination at this ACK
+};
+
+// Network environment a trace was collected under (the testbed knobs of
+// §3.2: RTT 10-100ms, bandwidth 5-15Mbps).
+struct Environment {
+  double bandwidth_bps = 10e6;    // bottleneck rate
+  double rtt_s = 0.05;            // two-way propagation delay
+  double buffer_bytes = 0.0;      // bottleneck buffer (0 => 1 BDP default)
+  double random_loss = 0.0;       // iid loss probability on the data path
+  double cross_traffic_bps = 0.0; // Poisson cross traffic sharing the link
+  std::uint64_t seed = 1;         // simulator RNG seed
+  double duration_s = 30.0;       // connection length
+
+  std::string label() const;
+};
+
+struct Trace {
+  std::string cca_name;
+  Environment env;
+  std::vector<AckSample> samples;
+
+  bool empty() const { return samples.empty(); }
+  std::size_t size() const { return samples.size(); }
+
+  // The observable CWND time series (cwnd_after per sample).
+  std::vector<double> cwnd_series() const;
+  // Sample timestamps, parallel to cwnd_series().
+  std::vector<double> time_series() const;
+};
+
+// A contiguous slice of a trace between loss events (§3.2 "trace segments").
+// Owns copies of its samples so segments outlive their source trace.
+struct Segment {
+  std::string cca_name;
+  Environment env;
+  std::size_t first_index = 0;  // index of the first sample in the source trace
+  std::vector<AckSample> samples;
+
+  std::vector<double> cwnd_series() const;
+  std::vector<double> time_series() const;
+};
+
+// Drop the first `warmup_s` seconds of a trace (connection ramp-up / initial
+// slow start), which would otherwise dominate distance scoring for CCAs
+// whose steady state is loss-free (Vegas converges and never loses).
+Trace trim_warmup(const Trace& t, double warmup_s);
+
+// Loss inference from the ACK stream alone: a run of >= 3 duplicate ACKs
+// (same cumulative ACK number, no new data) marks a loss event, mirroring
+// the triple-dup-ACK heuristic of §3.2. Returns sample indices at which a
+// loss event is inferred.
+std::vector<std::size_t> infer_loss_events(const Trace& trace);
+
+// Split a trace at its loss events. Segments shorter than min_samples are
+// dropped (they carry almost no behavioural signal). When
+// use_recorded_events is false, loss points are inferred with
+// infer_loss_events instead of trusting sender-side annotations.
+std::vector<Segment> segment_trace(const Trace& trace, std::size_t min_samples = 20,
+                                   bool use_recorded_events = true);
+
+// Convenience: segment every trace in a set and pool the segments. With
+// skip_first, the pre-first-loss segment of each trace (connection warm-up /
+// initial slow start) is excluded — the handler model targets steady-state
+// congestion-avoidance behaviour.
+std::vector<Segment> segment_all(const std::vector<Trace>& traces,
+                                 std::size_t min_samples = 20, bool skip_first = false);
+
+}  // namespace abg::trace

@@ -1,0 +1,103 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+
+namespace abg::trace {
+
+namespace {
+constexpr const char* kColumns =
+    "now,mss,cwnd,inflight,acked_bytes,rtt,srtt,min_rtt,max_rtt,ack_rate,rtt_gradient,"
+    "time_since_loss,cwnd_after,ack_seq,is_dup,loss_event";
+}
+
+std::string to_csv(const Trace& trace) {
+  util::CsvWriter w;
+  {
+    char meta[256];
+    std::snprintf(meta, sizeof(meta),
+                  "#cca=%s bw=%.17g rtt=%.17g buf=%.17g loss=%.17g seed=%llu dur=%.17g xt=%.17g",
+                  trace.cca_name.c_str(), trace.env.bandwidth_bps, trace.env.rtt_s,
+                  trace.env.buffer_bytes, trace.env.random_loss,
+                  static_cast<unsigned long long>(trace.env.seed), trace.env.duration_s,
+                  trace.env.cross_traffic_bps);
+    w.add_row({meta});
+  }
+  w.add_row({kColumns});
+  for (const auto& s : trace.samples) {
+    w.add_row_numeric({s.sig.now, s.sig.mss, s.sig.cwnd, s.sig.inflight, s.sig.acked_bytes,
+                       s.sig.rtt, s.sig.srtt, s.sig.min_rtt, s.sig.max_rtt, s.sig.ack_rate,
+                       s.sig.rtt_gradient, s.sig.time_since_loss, s.cwnd_after, s.ack_seq,
+                       s.is_dup ? 1.0 : 0.0, s.loss_event ? 1.0 : 0.0});
+  }
+  return w.str();
+}
+
+std::optional<Trace> from_csv(const std::string& csv) {
+  const auto rows = util::parse_csv(csv);
+  if (rows.size() < 2 || rows[0].empty() || rows[0][0].empty() || rows[0][0][0] != '#') {
+    return std::nullopt;
+  }
+  Trace t;
+  {
+    // Parse "#cca=NAME bw=... rtt=... buf=... loss=... seed=... dur=..."
+    const std::string& meta = rows[0][0];
+    auto field = [&meta](const std::string& key) -> std::string {
+      const auto pos = meta.find(key + "=");
+      if (pos == std::string::npos) return {};
+      const auto start = pos + key.size() + 1;
+      const auto end = meta.find(' ', start);
+      return meta.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    };
+    t.cca_name = field("cca");
+    t.env.bandwidth_bps = std::atof(field("bw").c_str());
+    t.env.rtt_s = std::atof(field("rtt").c_str());
+    t.env.buffer_bytes = std::atof(field("buf").c_str());
+    t.env.random_loss = std::atof(field("loss").c_str());
+    t.env.seed = std::strtoull(field("seed").c_str(), nullptr, 10);
+    t.env.duration_s = std::atof(field("dur").c_str());
+    t.env.cross_traffic_bps = std::atof(field("xt").c_str());  // "" -> 0
+  }
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.size() < 16) continue;
+    AckSample s;
+    s.sig.now = std::atof(r[0].c_str());
+    s.sig.mss = std::atof(r[1].c_str());
+    s.sig.cwnd = std::atof(r[2].c_str());
+    s.sig.inflight = std::atof(r[3].c_str());
+    s.sig.acked_bytes = std::atof(r[4].c_str());
+    s.sig.rtt = std::atof(r[5].c_str());
+    s.sig.srtt = std::atof(r[6].c_str());
+    s.sig.min_rtt = std::atof(r[7].c_str());
+    s.sig.max_rtt = std::atof(r[8].c_str());
+    s.sig.ack_rate = std::atof(r[9].c_str());
+    s.sig.rtt_gradient = std::atof(r[10].c_str());
+    s.sig.time_since_loss = std::atof(r[11].c_str());
+    s.cwnd_after = std::atof(r[12].c_str());
+    s.ack_seq = std::atof(r[13].c_str());
+    s.is_dup = std::atof(r[14].c_str()) != 0.0;
+    s.loss_event = std::atof(r[15].c_str()) != 0.0;
+    t.samples.push_back(s);
+  }
+  return t;
+}
+
+bool save_csv(const Trace& trace, const std::string& path) {
+  const std::string body = to_csv(trace);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<Trace> load_csv(const std::string& path) {
+  const std::string content = util::read_file(path);
+  if (content.empty()) return std::nullopt;
+  return from_csv(content);
+}
+
+}  // namespace abg::trace

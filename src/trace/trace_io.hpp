@@ -1,0 +1,20 @@
+// CSV persistence for traces, so collected trace banks can be saved and
+// reloaded by examples/benchmarks without re-running the simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace abg::trace {
+
+// CSV layout: two header lines (metadata, column names) then one row per
+// ACK sample.
+std::string to_csv(const Trace& trace);
+std::optional<Trace> from_csv(const std::string& csv);
+
+bool save_csv(const Trace& trace, const std::string& path);
+std::optional<Trace> load_csv(const std::string& path);
+
+}  // namespace abg::trace

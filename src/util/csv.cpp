@@ -1,0 +1,108 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace abg::util {
+
+namespace {
+
+bool needs_quoting(const std::string& field, char sep) {
+  return field.find(sep) != std::string::npos || field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::add_row(const std::vector<std::string>& fields) { rows_.push_back(fields); }
+
+void CsvWriter::add_row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    fields.emplace_back(buf);
+  }
+  add_row(fields);
+}
+
+std::string CsvWriter::str() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += sep_;
+      out += needs_quoting(row[i], sep_) ? quote(row[i]) : row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << str();
+  return static_cast<bool>(f);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& content, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace abg::util

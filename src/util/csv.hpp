@@ -1,0 +1,36 @@
+// Tiny CSV reader/writer used for trace persistence and benchmark output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace abg::util {
+
+// Writes rows of string fields, quoting fields that contain separators.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char sep = ',') : sep_(sep) {}
+
+  void add_row(const std::vector<std::string>& fields);
+  // Convenience: formats doubles with enough precision to round-trip.
+  void add_row_numeric(const std::vector<double>& values);
+
+  // Serialized CSV body.
+  std::string str() const;
+  // Write to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  char sep_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Parses CSV content into rows of fields. Handles quoted fields with embedded
+// separators and doubled quotes. Newlines inside quotes are not supported
+// (traces never need them).
+std::vector<std::vector<std::string>> parse_csv(const std::string& content, char sep = ',');
+
+// Reads an entire file; returns empty string on failure.
+std::string read_file(const std::string& path);
+
+}  // namespace abg::util

@@ -1,0 +1,34 @@
+// Minimal leveled logging to stderr. The synthesis pipeline is long-running;
+// INFO-level progress lines let a user watch the refinement loop converge.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace abg::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; default Warn so tests and benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_line(level, buf);
+}
+
+#define ABG_DEBUG(...) ::abg::util::logf(::abg::util::LogLevel::kDebug, __VA_ARGS__)
+#define ABG_INFO(...) ::abg::util::logf(::abg::util::LogLevel::kInfo, __VA_ARGS__)
+#define ABG_WARN(...) ::abg::util::logf(::abg::util::LogLevel::kWarn, __VA_ARGS__)
+#define ABG_ERROR(...) ::abg::util::logf(::abg::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace abg::util

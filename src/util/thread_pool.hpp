@@ -1,0 +1,62 @@
+// Fixed-size thread pool used to parallelize bucket scoring (§4.4 of the
+// paper parallelizes the refinement loop across buckets with Ray; we use a
+// local pool instead).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace abg::util {
+
+// A minimal work-stealing-free thread pool. Tasks are arbitrary callables;
+// submit() returns a future for the callable's result. The pool joins all
+// workers on destruction after draining the queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Safe to call from multiple threads, including from
+  // worker threads themselves (tasks must not block on futures of tasks
+  // that cannot be scheduled, i.e. avoid nested blocking waits that exceed
+  // the worker count).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lk(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace abg::util

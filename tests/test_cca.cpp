@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "cca/bbr.hpp"
+#include "cca/cca.hpp"
+#include "cca/cubic_family.hpp"
+#include "cca/delay_family.hpp"
+#include "cca/reno_family.hpp"
+#include "cca/student.hpp"
+
+namespace abg::cca {
+namespace {
+
+constexpr double kMss = 1448.0;
+
+Signals steady_signals(double cwnd_pkts, double rtt = 0.05, double min_rtt = 0.05) {
+  Signals s;
+  s.mss = kMss;
+  s.cwnd = cwnd_pkts * kMss;
+  s.acked_bytes = kMss;
+  s.rtt = rtt;
+  s.srtt = rtt;
+  s.min_rtt = min_rtt;
+  s.max_rtt = std::max(rtt, min_rtt) * 1.5;
+  s.ack_rate = s.cwnd / rtt;
+  s.now = 10.0;
+  s.time_since_loss = 2.0;
+  return s;
+}
+
+TEST(Registry, CreatesEveryRegisteredCca) {
+  for (const auto& name : all_cca_names()) {
+    auto cca = make_cca(name);
+    ASSERT_NE(cca, nullptr) << name;
+    EXPECT_EQ(cca->name(), name);
+  }
+}
+
+TEST(Registry, ThrowsOnUnknownName) { EXPECT_THROW(make_cca("nope"), std::invalid_argument); }
+
+TEST(Registry, SplitsKernelAndStudentCcas) {
+  EXPECT_EQ(kernel_cca_names().size(), 16u);
+  EXPECT_EQ(student_cca_names().size(), 7u);
+  EXPECT_EQ(all_cca_names().size(), 23u);
+}
+
+TEST(Reno, SlowStartGrowsByAckedBytes) {
+  Reno reno;
+  reno.init(kMss, 10 * kMss);
+  EXPECT_TRUE(reno.in_slow_start());
+  auto sig = steady_signals(10);
+  const double next = reno.on_ack(sig);
+  EXPECT_DOUBLE_EQ(next, 11 * kMss);
+}
+
+TEST(Reno, CongestionAvoidanceAddsRenoIncrement) {
+  Reno reno;
+  reno.init(kMss, 10 * kMss);
+  auto sig = steady_signals(10);
+  reno.on_loss(sig);  // leaves cwnd == ssthresh == 5 MSS: now in CA
+  sig.cwnd = 5 * kMss;
+  const double before = 5 * kMss;
+  const double next = reno.on_ack(sig);
+  EXPECT_NEAR(next - before, kMss * kMss / before, 1e-9);
+}
+
+TEST(Reno, LossHalvesWindow) {
+  Reno reno;
+  reno.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  EXPECT_DOUBLE_EQ(reno.on_loss(sig), 10 * kMss);
+}
+
+TEST(Reno, WindowNeverBelowTwoMss) {
+  Reno reno;
+  reno.init(kMss, 2 * kMss);
+  auto sig = steady_signals(2);
+  EXPECT_GE(reno.on_loss(sig), 2 * kMss);
+}
+
+TEST(Westwood, LossSetsWindowToBdp) {
+  Westwood w;
+  w.init(kMss, 40 * kMss);
+  auto sig = steady_signals(40);
+  sig.ack_rate = 20 * kMss / 0.05;  // BDP = 20 pkts
+  sig.min_rtt = 0.05;
+  EXPECT_NEAR(w.on_loss(sig), 20 * kMss, 1e-6);
+}
+
+TEST(Westwood, LossFallsBackToHalvingWithoutRateEstimate) {
+  Westwood w;
+  w.init(kMss, 40 * kMss);
+  auto sig = steady_signals(40);
+  sig.ack_rate = 0.0;
+  EXPECT_DOUBLE_EQ(w.on_loss(sig), 20 * kMss);
+}
+
+TEST(Scalable, IncreaseProportionalToAcked) {
+  Scalable s;
+  s.init(kMss, 100 * kMss);
+  auto sig = steady_signals(100);
+  s.on_loss(sig);  // exit slow start (ssthresh = 87.5 pkts)
+  sig.cwnd = 87.5 * kMss;
+  const double next = s.on_ack(sig);
+  EXPECT_NEAR(next - 87.5 * kMss, 0.01 * kMss, 1e-9);
+}
+
+TEST(Scalable, GentleMultiplicativeDecrease) {
+  Scalable s;
+  s.init(kMss, 100 * kMss);
+  auto sig = steady_signals(100);
+  EXPECT_NEAR(s.on_loss(sig), 87.5 * kMss, 1e-6);
+}
+
+TEST(Hybla, HighRttIncreasesFaster) {
+  Hybla fast, slow;
+  fast.init(kMss, 10 * kMss);
+  slow.init(kMss, 10 * kMss);
+  auto sig_fast = steady_signals(10, 0.2, 0.2);   // rho = 8
+  auto sig_slow = steady_signals(10, 0.025, 0.025);  // rho = 1
+  fast.on_loss(sig_fast);
+  slow.on_loss(sig_slow);
+  const double base = 5 * kMss;
+  sig_fast.cwnd = sig_slow.cwnd = base;
+  const double inc_fast = fast.on_ack(sig_fast) - base;
+  const double inc_slow = slow.on_ack(sig_slow) - base;
+  EXPECT_GT(inc_fast, 10 * inc_slow);
+}
+
+TEST(LowPriority, BacksOffOnQueueingDelayWithoutLoss) {
+  LowPriority lp;
+  lp.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  lp.on_loss(sig);  // exit slow start at 10 pkts
+  sig.cwnd = 10 * kMss;
+  sig.min_rtt = 0.05;
+  sig.max_rtt = 0.15;
+  sig.rtt = 0.14;  // queueing delay way past 15% of the range
+  sig.now = 20.0;
+  const double next = lp.on_ack(sig);
+  EXPECT_LT(next, 10 * kMss);  // backed off without a loss event
+}
+
+TEST(HighSpeed, LargerWindowsGetLargerIncrease) {
+  HighSpeed hs;
+  hs.init(kMss, 2000 * kMss);
+  auto sig = steady_signals(2000);
+  const double w = hs.on_loss(sig);  // exits slow start at ~1400 pkts
+  sig.cwnd = w;
+  const double inc_big = hs.on_ack(sig) - w;
+
+  HighSpeed hs2;
+  hs2.init(kMss, 20 * kMss);
+  auto sig2 = steady_signals(20);
+  const double w2 = hs2.on_loss(sig2);
+  sig2.cwnd = w2;
+  const double inc_small = hs2.on_ack(sig2) - w2;
+  // a(w) scales the *per-RTT* growth (one window's worth of ACKs), so
+  // compare per-RTT increments: per-ACK increase times packets per window.
+  EXPECT_GT(inc_big * w / kMss, 3 * inc_small * w2 / kMss);
+}
+
+TEST(VegasQueueEstimate, ZeroAtBaseRtt) {
+  auto sig = steady_signals(10, 0.05, 0.05);
+  EXPECT_DOUBLE_EQ(vegas_queue_estimate(sig), 0.0);
+}
+
+TEST(VegasQueueEstimate, CountsQueuedPackets) {
+  auto sig = steady_signals(10, 0.10, 0.05);
+  // cwnd * (rtt - min) / (rtt * mss) = 10 * 0.05 / 0.10 = 5 packets.
+  EXPECT_NEAR(vegas_queue_estimate(sig), 5.0, 1e-9);
+}
+
+TEST(Vegas, HoldsInsideAlphaBetaBand) {
+  Vegas v;
+  v.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  v.on_loss(sig);  // exit slow start
+  sig.cwnd = 10 * kMss;
+  sig.rtt = 0.0652;  // queue estimate ~ 2.33 packets: inside [2, 4]
+  sig.min_rtt = 0.05;
+  const double before = sig.cwnd;
+  EXPECT_DOUBLE_EQ(v.on_ack(sig), before);
+}
+
+TEST(Vegas, IncreasesWhenQueueShort) {
+  Vegas v;
+  v.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  v.on_loss(sig);
+  sig.cwnd = 10 * kMss;
+  sig.rtt = 0.05;  // empty queue
+  sig.min_rtt = 0.05;
+  EXPECT_GT(v.on_ack(sig), sig.cwnd);
+}
+
+TEST(Vegas, DecreasesWhenQueueLong) {
+  Vegas v;
+  v.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  v.on_loss(sig);
+  sig.cwnd = 10 * kMss;
+  sig.rtt = 0.2;  // queue ~ 7.5 packets > beta
+  sig.min_rtt = 0.05;
+  EXPECT_LT(v.on_ack(sig), sig.cwnd);
+}
+
+TEST(Veno, RandomLossGetsGentlerBackoff) {
+  Veno congested, random_loss;
+  congested.init(kMss, 20 * kMss);
+  random_loss.init(kMss, 20 * kMss);
+  auto sig_cong = steady_signals(20, 0.2, 0.05);   // long queue
+  auto sig_rand = steady_signals(20, 0.05, 0.05);  // empty queue
+  EXPECT_DOUBLE_EQ(congested.on_loss(sig_cong), 10 * kMss);   // halve
+  EXPECT_DOUBLE_EQ(random_loss.on_loss(sig_rand), 16 * kMss); // * 0.8
+}
+
+TEST(Yeah, FastModeWhenQueueShort) {
+  Yeah y;
+  y.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  const double w = y.on_loss(sig);
+  sig.cwnd = w;
+  sig.rtt = sig.min_rtt;  // empty queue -> fast (Scalable-style) mode
+  const double inc = y.on_ack(sig) - w;
+  EXPECT_NEAR(inc, 0.01 * kMss, 1e-9);
+}
+
+TEST(Illinois, IncreaseShrinksWithDelay) {
+  Illinois i1, i2;
+  i1.init(kMss, 20 * kMss);
+  i2.init(kMss, 20 * kMss);
+  auto near_empty = steady_signals(20, 0.05, 0.05);
+  near_empty.max_rtt = 0.2;
+  auto congested = steady_signals(20, 0.19, 0.05);
+  congested.srtt = 0.19;
+  congested.max_rtt = 0.2;
+  i1.on_loss(near_empty);
+  i2.on_loss(congested);
+  near_empty.cwnd = congested.cwnd = 10 * kMss;
+  const double inc_fast = i1.on_ack(near_empty) - near_empty.cwnd;
+  const double inc_slow = i2.on_ack(congested) - congested.cwnd;
+  EXPECT_GT(inc_fast, 5 * inc_slow);
+}
+
+TEST(Htcp, IncreaseGrowsWithTimeSinceLoss) {
+  Htcp h;
+  h.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  const double w = h.on_loss(sig);
+  sig.cwnd = w;
+  sig.time_since_loss = 0.5;
+  const double inc_early = h.on_ack(sig) - w;
+
+  Htcp h2;
+  h2.init(kMss, 20 * kMss);
+  auto sig2 = steady_signals(20);
+  const double w2 = h2.on_loss(sig2);
+  sig2.cwnd = w2;
+  sig2.time_since_loss = 5.0;
+  const double inc_late = h2.on_ack(sig2) - w2;
+  EXPECT_GT(inc_late, 10 * inc_early);
+}
+
+TEST(Htcp, BackoffTracksRttRatio) {
+  Htcp h;
+  h.init(kMss, 20 * kMss);
+  auto sig = steady_signals(20);
+  sig.min_rtt = 0.06;
+  sig.max_rtt = 0.10;  // ratio 0.6, within [0.5, 0.8]
+  EXPECT_NEAR(h.on_loss(sig), 20 * kMss * 0.6, 1e-6);
+}
+
+TEST(Bic, BinarySearchMovesTowardOldMax) {
+  Bic b;
+  b.init(kMss, 100 * kMss);
+  auto sig = steady_signals(100);
+  b.on_loss(sig);  // w_max = 100 pkts, cwnd = 80 pkts
+  sig.cwnd = 80 * kMss;
+  const double next = b.on_ack(sig);
+  EXPECT_GT(next, 80 * kMss);
+  EXPECT_LT(next, 100 * kMss);
+}
+
+TEST(Cubic, RecoversTowardWmaxAfterLoss) {
+  Cubic c;
+  c.init(kMss, 100 * kMss);
+  auto sig = steady_signals(100);
+  c.on_loss(sig);  // w_max = 100 pkts, cwnd = 70 pkts
+  double cwnd = 70 * kMss;
+  // Drive two seconds of ACKs; the cubic curve must climb back toward 100.
+  for (int i = 0; i < 200; ++i) {
+    sig.cwnd = cwnd;
+    sig.now = 10.0 + i * 0.01;
+    cwnd = c.on_ack(sig);
+  }
+  EXPECT_GT(cwnd / kMss, 85.0);
+  EXPECT_LT(cwnd / kMss, 130.0);
+}
+
+TEST(Bbr, StartupExitsOnBandwidthPlateau) {
+  Bbr b;
+  b.init(kMss, 10 * kMss);
+  EXPECT_TRUE(b.in_slow_start());
+  auto sig = steady_signals(10);
+  sig.ack_rate = 1e6;  // constant rate: plateau after a few ACKs
+  for (int i = 0; i < 10 && b.in_slow_start(); ++i) {
+    sig.now = 10.0 + i * 0.01;
+    b.on_ack(sig);
+  }
+  EXPECT_FALSE(b.in_slow_start());
+}
+
+TEST(Bbr, ProbeBwTracksBdpWithGainCycle) {
+  Bbr b;
+  b.init(kMss, 10 * kMss);
+  auto sig = steady_signals(10);
+  sig.ack_rate = 50 * kMss / 0.05;  // BDP = 50 packets
+  sig.min_rtt = 0.05;
+  double lo = 1e18, hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    sig.now = 10.0 + i * 0.005;
+    const double w = b.on_ack(sig);
+    if (i > 500) {  // past STARTUP/DRAIN
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+  }
+  const double bdp = 50 * kMss;
+  EXPECT_NEAR(hi, 2.0 * bdp * 1.25, bdp * 0.6);  // probing phase
+  EXPECT_LT(lo, 2.0 * bdp);                      // draining phase dips
+}
+
+TEST(Bbr, LossBarelyMovesWindow) {
+  Bbr b;
+  b.init(kMss, 50 * kMss);
+  auto sig = steady_signals(50);
+  sig.ack_rate = 50 * kMss / 0.05;
+  b.on_ack(sig);
+  const double before = b.on_ack(sig);
+  const double after = b.on_loss(sig);
+  EXPECT_GT(after, before * 0.5);  // nothing like Reno's halving
+}
+
+TEST(Students, ConstantWindowCcasPinTheirWindow) {
+  for (const char* name : {"student4", "student5"}) {
+    auto s = make_cca(name);
+    s->init(kMss, 10 * kMss);
+    auto sig = steady_signals(10);
+    EXPECT_DOUBLE_EQ(s->on_ack(sig), 2 * kMss) << name;
+    EXPECT_DOUBLE_EQ(s->on_loss(sig), 2 * kMss) << name;
+  }
+}
+
+TEST(Students, Student1RampsToEightyEightPackets) {
+  Student1 s;
+  s.init(kMss, 10 * kMss);
+  auto sig = steady_signals(10);
+  double w = 10 * kMss;
+  for (int i = 0; i < 500; ++i) {
+    sig.cwnd = w;
+    w = s.on_ack(sig);
+  }
+  EXPECT_DOUBLE_EQ(w, 88 * kMss);
+  EXPECT_DOUBLE_EQ(s.on_loss(sig), w);  // loss-agnostic
+}
+
+TEST(Students, Student3TracksDeliveryRate) {
+  Student3 s;
+  s.init(kMss, 10 * kMss);
+  auto sig = steady_signals(10);
+  sig.ack_rate = 100 * kMss / 0.05;
+  sig.min_rtt = 0.05;
+  EXPECT_NEAR(s.on_ack(sig), 0.8 * 100 * kMss, 1e-6);
+}
+
+TEST(Students, Student6BacksOffOnRisingGradientOncePerRtt) {
+  Student6 s;
+  s.init(kMss, 100 * kMss);
+  auto sig = steady_signals(100);
+  sig.rtt_gradient = 0.5;
+  sig.now = 10.0;
+  const double after1 = s.on_ack(sig);
+  EXPECT_NEAR(after1, 80 * kMss, 1e-6);
+  sig.cwnd = after1;
+  sig.now = 10.001;  // within the same RTT: no second backoff
+  EXPECT_GT(s.on_ack(sig), after1);
+}
+
+}  // namespace
+}  // namespace abg::cca

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/distance.hpp"
+#include "util/rng.hpp"
+
+namespace abg::distance {
+namespace {
+
+std::vector<double> ramp(std::size_t n, double slope = 1.0, double offset = 0.0) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = offset + slope * static_cast<double>(i);
+  return v;
+}
+
+std::vector<double> sine(std::size_t n, double period, double phase = 0.0) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2 * M_PI * (static_cast<double>(i) / period) + phase);
+  }
+  return v;
+}
+
+TEST(Resample, PreservesEndpoints) {
+  auto r = resample(ramp(100), 10);
+  ASSERT_EQ(r.size(), 10u);
+  EXPECT_DOUBLE_EQ(r.front(), 0.0);
+  EXPECT_DOUBLE_EQ(r.back(), 99.0);
+}
+
+TEST(Resample, UpsamplesByInterpolation) {
+  std::vector<double> v{0.0, 10.0};
+  auto r = resample(v, 11);
+  EXPECT_NEAR(r[5], 5.0, 1e-9);
+}
+
+TEST(Resample, HandlesSingletonAndEmpty) {
+  std::vector<double> one{7.0};
+  auto r = resample(one, 5);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 7.0);
+  EXPECT_EQ(resample({}, 4).size(), 4u);
+}
+
+// Identity / symmetry / non-negativity for every metric.
+class MetricProperties : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricProperties, IdenticalSeriesHaveZeroDistance) {
+  auto a = sine(200, 40);
+  EXPECT_NEAR(compute(GetParam(), a, a), 0.0, 1e-9);
+}
+
+TEST_P(MetricProperties, IsSymmetric) {
+  auto a = sine(150, 30);
+  auto b = ramp(170, 0.1);
+  EXPECT_NEAR(compute(GetParam(), a, b), compute(GetParam(), b, a), 1e-9);
+}
+
+TEST_P(MetricProperties, IsNonNegative) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(50), b(60);
+    for (auto& x : a) x = rng.uniform(0, 100);
+    for (auto& x : b) x = rng.uniform(0, 100);
+    EXPECT_GE(compute(GetParam(), a, b), 0.0);
+  }
+}
+
+TEST_P(MetricProperties, EmptyVsEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(compute(GetParam(), {}, {}), 0.0);
+}
+
+TEST_P(MetricProperties, EmptyVsNonEmptyIsInfinite) {
+  auto a = ramp(10);
+  EXPECT_TRUE(std::isinf(compute(GetParam(), a, {})));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricProperties, ::testing::ValuesIn(all_metrics()),
+                         [](const auto& info) { return metric_name(info.param); });
+
+TEST(Dtw, ToleratesTemporalShiftBetterThanEuclidean) {
+  // Same sawtooth, quarter-period phase shift: DTW realigns, Euclidean
+  // cannot (the basis of Figure 3's metric choice).
+  auto a = sine(400, 80);
+  auto b = sine(400, 80, M_PI / 2);
+  const double d_dtw = dtw(a, b);
+  const double d_euc = euclidean(a, b);
+  EXPECT_LT(d_dtw, 0.3 * d_euc);
+}
+
+TEST(Dtw, DetectsAmplitudeDifference) {
+  auto a = sine(200, 50);
+  auto b = a;
+  for (auto& x : b) x *= 3.0;
+  EXPECT_GT(dtw(a, b), 0.5);
+}
+
+TEST(Dtw, BandedApproximatesFull) {
+  auto a = sine(300, 60);
+  auto b = sine(300, 60, 0.2);
+  const double full = dtw(a, b);
+  const double banded = dtw(a, b, 0.2);
+  EXPECT_NEAR(banded, full, std::max(0.05, full * 0.5));
+  EXPECT_GE(banded, full - 1e-12);  // band can only restrict the warp
+}
+
+TEST(Dtw, HandlesDifferentLengths) {
+  auto a = ramp(100);
+  auto b = resample(a, 63);
+  EXPECT_LT(dtw(a, b), 1.0);
+}
+
+TEST(Euclidean, MeasuresVerticalOffset) {
+  auto a = ramp(100, 1.0, 0.0);
+  auto b = ramp(100, 1.0, 5.0);
+  EXPECT_NEAR(euclidean(a, b), 5.0, 1e-9);
+}
+
+TEST(Manhattan, MeasuresMeanAbsoluteOffset) {
+  auto a = ramp(100, 1.0, 0.0);
+  auto b = ramp(100, 1.0, 3.0);
+  EXPECT_NEAR(manhattan(a, b), 3.0, 1e-9);
+}
+
+TEST(Frechet, IsMaxDeviationForAlignedSeries) {
+  auto a = ramp(50);
+  auto b = ramp(50, 1.0, 2.0);
+  EXPECT_NEAR(frechet(a, b), 2.0, 1e-9);
+}
+
+TEST(Correlation, ShapeOnlyIgnoresScale) {
+  auto a = sine(100, 25);
+  auto b = a;
+  for (auto& x : b) x = 10 * x + 100;
+  EXPECT_NEAR(correlation_distance(a, b), 0.0, 1e-9);
+}
+
+TEST(Correlation, AntiCorrelatedIsMaximal) {
+  auto a = sine(100, 25);
+  auto b = a;
+  for (auto& x : b) x = -x;
+  EXPECT_NEAR(correlation_distance(a, b), 2.0, 1e-9);
+}
+
+TEST(Correlation, ConstantVsVaryingIsMaximal) {
+  std::vector<double> flat(50, 5.0);
+  EXPECT_DOUBLE_EQ(correlation_distance(flat, sine(50, 10)), 2.0);
+  EXPECT_DOUBLE_EQ(correlation_distance(flat, flat), 0.0);
+}
+
+TEST(Compute, ResamplesLongSeries) {
+  DistanceOptions opts;
+  opts.max_points = 64;
+  auto a = sine(5000, 100);
+  auto b = sine(5000, 100, 0.05);
+  const double d = compute(Metric::kDtw, a, b, opts);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(Compute, MetricNamesAreStable) {
+  EXPECT_STREQ(metric_name(Metric::kDtw), "dtw");
+  EXPECT_STREQ(metric_name(Metric::kEuclidean), "euclidean");
+  EXPECT_EQ(all_metrics().size(), 5u);
+}
+
+}  // namespace
+}  // namespace abg::distance

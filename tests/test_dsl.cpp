@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "dsl/dsl.hpp"
+#include "dsl/known_handlers.hpp"
+
+namespace abg::dsl {
+namespace {
+
+TEST(Dsl, CuratedDslsResolveByName) {
+  for (const auto& name : curated_dsl_names()) {
+    const Dsl d = dsl_by_name(name);
+    EXPECT_EQ(d.name, name);
+    EXPECT_FALSE(d.signals.empty());
+    EXPECT_FALSE(d.ops.empty());
+    EXPECT_FALSE(d.constant_pool.empty());
+  }
+  EXPECT_THROW(dsl_by_name("bogus"), std::invalid_argument);
+}
+
+TEST(Dsl, RenoDslHasBaseElementsOnly) {
+  const Dsl d = reno_dsl();
+  EXPECT_TRUE(d.has_signal(Signal::kRenoInc));
+  EXPECT_FALSE(d.has_signal(Signal::kRtt));
+  EXPECT_FALSE(d.has_signal(Signal::kVegasDiff));
+  EXPECT_FALSE(d.has_op(Op::kCube));
+}
+
+TEST(Dsl, CubicDslAddsCubeAndWmax) {
+  const Dsl d = cubic_dsl();
+  EXPECT_TRUE(d.has_op(Op::kCube));
+  EXPECT_TRUE(d.has_op(Op::kCbrt));
+  EXPECT_TRUE(d.has_signal(Signal::kWMax));
+}
+
+TEST(Dsl, RateDelayDslAddsDelaySignals) {
+  const Dsl d = rate_delay_dsl();
+  for (auto s : {Signal::kRtt, Signal::kMinRtt, Signal::kMaxRtt, Signal::kAckRate,
+                 Signal::kRttGradient, Signal::kHtcpDiff, Signal::kRttsSinceLoss}) {
+    EXPECT_TRUE(d.has_signal(s));
+  }
+  EXPECT_FALSE(d.has_signal(Signal::kVegasDiff));
+}
+
+TEST(Dsl, VegasDslAddsVegasDiff) {
+  EXPECT_TRUE(vegas_dsl().has_signal(Signal::kVegasDiff));
+}
+
+TEST(Dsl, SizeBoundedVariants) {
+  EXPECT_EQ(delay7_dsl().max_nodes, 7);
+  EXPECT_EQ(delay11_dsl().max_nodes, 11);
+  EXPECT_EQ(vegas11_dsl().max_nodes, 11);
+  EXPECT_EQ(vegas11_dsl().max_depth, 5);
+}
+
+TEST(Dsl, ElementCountMatchesListing) {
+  // Base Reno-DSL: 5 signals + constant + 8 operators.
+  EXPECT_EQ(reno_dsl().element_count(), 14u);
+}
+
+TEST(Dsl, SketchSpaceGrowsExponentiallyWithDepth) {
+  const Dsl d = reno_dsl();
+  const double s2 = sketch_space_size(d, 2);
+  const double s3 = sketch_space_size(d, 3);
+  const double s4 = sketch_space_size(d, 4);
+  EXPECT_GT(s3, 100 * s2);
+  EXPECT_GT(s4, 100 * s3);
+}
+
+TEST(Dsl, SketchSpaceAtDepthSevenIsAstronomical) {
+  // §4.1: with the full Listing-1 DSL and depth 7, the space is ~10^150.
+  Dsl full = vegas_dsl();
+  full.ops.push_back(Op::kCube);
+  full.ops.push_back(Op::kCbrt);
+  const double s7 = sketch_space_size(full, 7);
+  EXPECT_GT(s7, 1e100);
+}
+
+TEST(Dsl, DepthOneSpaceIsJustLeaves) {
+  const Dsl d = reno_dsl();
+  EXPECT_DOUBLE_EQ(sketch_space_size(d, 1),
+                   static_cast<double>(d.signals.size()) + 1.0);
+}
+
+TEST(Dsl, WithinDslChecksSignalsOpsAndBounds) {
+  const Dsl d = reno_dsl();
+  auto ok = add(sig(Signal::kCwnd), mul(hole(0), sig(Signal::kRenoInc)));
+  EXPECT_TRUE(within_dsl(*ok, d));
+  auto wrong_signal = add(sig(Signal::kCwnd), sig(Signal::kRtt));
+  EXPECT_FALSE(within_dsl(*wrong_signal, d));
+  auto wrong_op = cube(sig(Signal::kCwnd));
+  EXPECT_FALSE(within_dsl(*wrong_op, d));
+}
+
+TEST(Dsl, WithinDslEnforcesDepth) {
+  Dsl d = reno_dsl();
+  d.max_depth = 2;
+  auto deep = add(sig(Signal::kCwnd), mul(hole(0), sig(Signal::kRenoInc)));
+  EXPECT_FALSE(within_dsl(*deep, d));
+}
+
+TEST(KnownHandlers, AllCcasHaveEntries) {
+  for (const auto& name :
+       {"bbr", "reno", "westwood", "scalable", "lp", "hybla", "htcp", "illinois", "vegas",
+        "veno", "nv", "yeah", "cubic", "bic", "cdg", "highspeed"}) {
+    EXPECT_NO_THROW(known_handlers(name)) << name;
+  }
+  EXPECT_THROW(known_handlers("nope"), std::invalid_argument);
+}
+
+TEST(KnownHandlers, FineTunedExpressionsExistForTableTwoRows) {
+  // The 13 kernel CCAs of Table 2 have fine-tuned handlers; BIC/CDG/HighSpeed
+  // do not (out of scope, §5.5).
+  int with = 0, without = 0;
+  for (const auto& k : all_known_handlers()) {
+    if (k.cca.rfind("student", 0) == 0) continue;
+    (k.fine_tuned ? with : without)++;
+  }
+  EXPECT_EQ(with, 13);
+  EXPECT_EQ(without, 3);
+}
+
+TEST(KnownHandlers, ExpectedSynthesizedAreConcrete) {
+  for (const auto& k : all_known_handlers()) {
+    if (!k.expected_synthesized) continue;
+    EXPECT_EQ(hole_count(*k.expected_synthesized), 0) << k.cca;
+  }
+}
+
+TEST(KnownHandlers, DslHintsAreCurated) {
+  const auto names = curated_dsl_names();
+  for (const auto& k : all_known_handlers()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), k.dsl_hint), names.end()) << k.cca;
+  }
+}
+
+TEST(KnownHandlers, RenoFineTunedIsRenoIncrement) {
+  // Tuned to this repo's ground-truth Reno (coefficient 1.0; the paper's
+  // kernel traces gave 0.7).
+  EXPECT_EQ(to_string(*known_handlers("reno").fine_tuned), "cwnd + reno-inc");
+}
+
+TEST(KnownHandlers, FineTunedWithinTheirFamilyDslSignals) {
+  // Every fine-tuned handler only uses signals available in its hinted DSL.
+  for (const auto& k : all_known_handlers()) {
+    if (!k.fine_tuned) continue;
+    const Dsl d = dsl_by_name(k.dsl_hint);
+    for (Signal s : signals_used(*k.fine_tuned)) {
+      EXPECT_TRUE(d.has_signal(s)) << k.cca << " uses " << signal_name(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abg::dsl

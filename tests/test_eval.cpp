@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsl/eval.hpp"
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+namespace {
+
+cca::Signals make_signals() {
+  cca::Signals s;
+  s.now = 12.0;
+  s.mss = 1448.0;
+  s.cwnd = 14480.0;        // 10 packets
+  s.acked_bytes = 1448.0;  // one packet
+  s.rtt = 0.08;
+  s.srtt = 0.08;
+  s.min_rtt = 0.05;
+  s.max_rtt = 0.10;
+  s.ack_rate = 181000.0;  // 125 pkts/s
+  s.rtt_gradient = 0.01;
+  s.time_since_loss = 2.0;
+  s.cwnd_at_loss = 28960.0;
+  return s;
+}
+
+TEST(Eval, SignalLeavesReadSnapshot) {
+  const auto s = make_signals();
+  EXPECT_DOUBLE_EQ(eval(*sig(Signal::kCwnd), s), 14480.0);
+  EXPECT_DOUBLE_EQ(eval(*sig(Signal::kMss), s), 1448.0);
+  EXPECT_DOUBLE_EQ(eval(*sig(Signal::kRtt), s), 0.08);
+  EXPECT_DOUBLE_EQ(eval(*sig(Signal::kWMax), s), 28960.0);
+  EXPECT_DOUBLE_EQ(eval(*sig(Signal::kTimeSinceLoss), s), 2.0);
+}
+
+TEST(Eval, RenoIncMacro) {
+  const auto s = make_signals();
+  EXPECT_NEAR(eval(*sig(Signal::kRenoInc), s), 1448.0 * 1448.0 / 14480.0, 1e-9);
+}
+
+TEST(Eval, VegasDiffMacro) {
+  const auto s = make_signals();
+  // (rtt - min_rtt) * ack_rate / mss = 0.03 * 181000 / 1448 = 3.75 packets.
+  EXPECT_NEAR(eval(*sig(Signal::kVegasDiff), s), 3.75, 1e-9);
+}
+
+TEST(Eval, HtcpDiffMacro) {
+  const auto s = make_signals();
+  EXPECT_NEAR(eval(*sig(Signal::kHtcpDiff), s), 0.03 / 0.10, 1e-12);
+}
+
+TEST(Eval, RttsSinceLossMacro) {
+  const auto s = make_signals();
+  EXPECT_NEAR(eval(*sig(Signal::kRttsSinceLoss), s), 2.0 / 0.08, 1e-9);
+}
+
+TEST(Eval, MacrosAreTotalOnZeroSignals) {
+  cca::Signals zero;
+  zero.mss = 0;
+  zero.cwnd = 0;
+  zero.rtt = 0;
+  zero.max_rtt = 0;
+  for (auto m : {Signal::kRenoInc, Signal::kVegasDiff, Signal::kHtcpDiff,
+                 Signal::kRttsSinceLoss}) {
+    EXPECT_TRUE(std::isfinite(eval(*sig(m), zero)));
+  }
+}
+
+TEST(Eval, Arithmetic) {
+  const auto s = make_signals();
+  EXPECT_DOUBLE_EQ(eval(*add(constant(2), constant(3)), s), 5.0);
+  EXPECT_DOUBLE_EQ(eval(*sub(constant(2), constant(3)), s), -1.0);
+  EXPECT_DOUBLE_EQ(eval(*mul(constant(2), constant(3)), s), 6.0);
+  EXPECT_DOUBLE_EQ(eval(*div(constant(3), constant(2)), s), 1.5);
+}
+
+TEST(Eval, DivisionByZeroIsZero) {
+  const auto s = make_signals();
+  EXPECT_DOUBLE_EQ(eval(*div(constant(3), constant(0)), s), 0.0);
+}
+
+TEST(Eval, CubeAndCbrt) {
+  const auto s = make_signals();
+  EXPECT_DOUBLE_EQ(eval(*cube(constant(2)), s), 8.0);
+  EXPECT_NEAR(eval(*cbrt(constant(27)), s), 3.0, 1e-12);
+  EXPECT_NEAR(eval(*cbrt(constant(-8)), s), -2.0, 1e-12);  // negative cbrt ok
+}
+
+TEST(Eval, Comparisons) {
+  const auto s = make_signals();
+  EXPECT_TRUE(eval_bool(*lt(constant(1), constant(2)), s));
+  EXPECT_FALSE(eval_bool(*lt(constant(2), constant(1)), s));
+  EXPECT_TRUE(eval_bool(*gt(sig(Signal::kCwnd), sig(Signal::kMss)), s));
+}
+
+TEST(Eval, ConditionalPicksBranch) {
+  const auto s = make_signals();
+  auto e = cond(lt(sig(Signal::kRtt), constant(1.0)), constant(10), constant(20));
+  EXPECT_DOUBLE_EQ(eval(*e, s), 10.0);
+  auto e2 = cond(gt(sig(Signal::kRtt), constant(1.0)), constant(10), constant(20));
+  EXPECT_DOUBLE_EQ(eval(*e2, s), 20.0);
+}
+
+TEST(Eval, ModEqExactMultiple) {
+  const auto s = make_signals();
+  EXPECT_TRUE(eval_bool(*mod_eq(constant(16), constant(8)), s));
+  EXPECT_FALSE(eval_bool(*mod_eq(constant(12), constant(8)), s));
+}
+
+TEST(Eval, ModEqToleranceBand) {
+  const auto s = make_signals();
+  // Within 5% of a multiple counts as "= 0" over continuous signals.
+  EXPECT_TRUE(eval_bool(*mod_eq(constant(16.3), constant(8)), s));
+  EXPECT_TRUE(eval_bool(*mod_eq(constant(15.7), constant(8)), s));
+  EXPECT_FALSE(eval_bool(*mod_eq(constant(12.0), constant(8)), s));
+}
+
+TEST(Eval, ModEqZeroDivisorIsFalse) {
+  const auto s = make_signals();
+  EXPECT_FALSE(eval_bool(*mod_eq(sig(Signal::kCwnd), constant(0)), s));
+}
+
+TEST(Eval, BoolAsNumberIsIndicator) {
+  const auto s = make_signals();
+  EXPECT_DOUBLE_EQ(eval(*lt(constant(1), constant(2)), s), 1.0);
+  EXPECT_DOUBLE_EQ(eval(*lt(constant(2), constant(1)), s), 0.0);
+}
+
+TEST(Eval, HoleEvaluatesDefensivelyToOne) {
+  const auto s = make_signals();
+  EXPECT_DOUBLE_EQ(eval(*hole(0), s), 1.0);
+}
+
+TEST(Eval, RenoHandlerMatchesClosedForm) {
+  const auto s = make_signals();
+  auto handler = add(sig(Signal::kCwnd), mul(constant(0.7), sig(Signal::kRenoInc)));
+  EXPECT_NEAR(eval(*handler, s), 14480.0 + 0.7 * 144.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace abg::dsl

@@ -1,0 +1,135 @@
+// Property-style stress tests over the discrete-event core and the distance
+// metrics: randomized inputs, invariant checks. Uses parameterized sweeps so
+// each seed is its own test case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/distance.hpp"
+#include "net/event_queue.hpp"
+#include "net/link.hpp"
+#include "util/rng.hpp"
+
+namespace abg {
+namespace {
+
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueProperty, ExecutionOrderIsNonDecreasingInTime) {
+  util::Rng rng(GetParam());
+  net::EventQueue q;
+  std::vector<double> fired;
+  for (int i = 0; i < 200; ++i) {
+    const double when = rng.uniform(0.0, 10.0);
+    q.schedule(when, [&fired, when] { fired.push_back(when); });
+  }
+  q.run_until(11.0);
+  ASSERT_EQ(fired.size(), 200u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+TEST_P(EventQueueProperty, NestedSchedulingNeverGoesBackInTime) {
+  util::Rng rng(GetParam());
+  net::EventQueue q;
+  double last_seen = -1.0;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    EXPECT_GE(q.now(), last_seen);
+    last_seen = q.now();
+    if (++fired < 100) q.schedule_in(rng.uniform(0.0, 0.1), chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_until(1e9);
+  EXPECT_EQ(fired, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+class LinkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinkProperty, DeliveryTimesAreFifo) {
+  util::Rng rng(GetParam());
+  net::Link link(8e6, 0.005, 1e9);
+  double arrival = 0.0;
+  double last_delivery = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    arrival += rng.uniform(0.0, 0.002);
+    auto d = link.transmit(rng.uniform(100, 1500), arrival, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, last_delivery);  // FIFO: no reordering
+    EXPECT_GE(*d, arrival + 0.005);  // at least propagation delay
+    last_delivery = *d;
+  }
+}
+
+TEST_P(LinkProperty, ThroughputNeverExceedsLineRate) {
+  util::Rng rng(GetParam());
+  net::Link link(8e6 /* 1 MB/s */, 0.0, 1e9);
+  double delivered_bytes = 0.0;
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    auto d = link.transmit(1000.0, 0.0, rng);  // all offered at t=0
+    ASSERT_TRUE(d.has_value());
+    delivered_bytes += 1000.0;
+    last = *d;
+  }
+  // 1 MB delivered at 1 MB/s takes >= 1 s.
+  EXPECT_GE(last, delivered_bytes / 1e6 * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkProperty, ::testing::Values(7, 8, 9));
+
+class DtwProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DtwProperty, LowerBoundedByEndpointGap) {
+  // DTW must pay at least the mismatch of the aligned endpoints.
+  util::Rng rng(GetParam());
+  std::vector<double> a(100), b(100);
+  for (auto& x : a) x = rng.uniform(0, 10);
+  for (auto& x : b) x = rng.uniform(0, 10);
+  const double d = distance::dtw(a, b);
+  EXPECT_GE(d * 100.0, std::fabs(a.front() - b.front()) - 1e-9);
+}
+
+TEST_P(DtwProperty, InvariantToCommonOffsetInEuclideanButNotMagnitude) {
+  util::Rng rng(GetParam());
+  std::vector<double> a(80);
+  for (auto& x : a) x = rng.uniform(0, 10);
+  auto b = a;
+  for (auto& x : b) x += 5.0;  // constant offset
+  EXPECT_NEAR(distance::euclidean(a, b), 5.0, 1e-9);
+  EXPECT_NEAR(distance::manhattan(a, b), 5.0, 1e-9);
+  EXPECT_NEAR(distance::frechet(a, b), 5.0, 1e-9);
+  EXPECT_NEAR(distance::correlation_distance(a, b), 0.0, 1e-9);  // shape-only
+}
+
+TEST_P(DtwProperty, PointwiseMetricsGrowWithOffsetButDtwCanRealign) {
+  // Point-wise metrics grow monotonically with a vertical offset. DTW does
+  // NOT on a periodic ramp: an offset matching the ramp's step realigns
+  // almost perfectly (a[i] ~ b[i-1]) — the very shift-tolerance the paper
+  // picks DTW for.
+  std::vector<double> a(120);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i % 30);
+  double prev_euc = 0.0, prev_man = 0.0;
+  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+    auto b = a;
+    for (auto& x : b) x += eps;
+    const double d_euc = distance::euclidean(a, b);
+    const double d_man = distance::manhattan(a, b);
+    EXPECT_GE(d_euc, prev_euc - 1e-12);
+    EXPECT_GE(d_man, prev_man - 1e-12);
+    prev_euc = d_euc;
+    prev_man = d_man;
+  }
+  // The step-matched offset realigns under DTW: far cheaper than Euclidean.
+  auto b = a;
+  for (auto& x : b) x += 1.0;  // one ramp step
+  EXPECT_LT(distance::dtw(a, b), 0.2 * distance::euclidean(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtwProperty, ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace abg

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "dsl/expr.hpp"
+
+namespace abg::dsl {
+namespace {
+
+TEST(Expr, LeafDepthIsOne) {
+  EXPECT_EQ(depth(*sig(Signal::kCwnd)), 1);
+  EXPECT_EQ(depth(*constant(3.0)), 1);
+  EXPECT_EQ(depth(*hole(0)), 1);
+}
+
+TEST(Expr, MacroCountsAsSingleLeaf) {
+  // reno-inc is one leaf, so cwnd + c*reno-inc is depth 3 (§6.1).
+  auto e = add(sig(Signal::kCwnd), mul(hole(0), sig(Signal::kRenoInc)));
+  EXPECT_EQ(depth(*e), 3);
+  EXPECT_EQ(node_count(*e), 5);
+}
+
+TEST(Expr, DepthOfNestedConditional) {
+  auto e = cond(lt(sig(Signal::kVegasDiff), hole(0)), sig(Signal::kRenoInc), hole(1));
+  EXPECT_EQ(depth(*e), 3);
+  EXPECT_EQ(node_count(*e), 6);
+}
+
+TEST(Expr, HoleIdsInFirstAppearanceOrder) {
+  auto e = add(mul(hole(3), sig(Signal::kMss)), hole(1));
+  EXPECT_EQ(hole_ids(*e), (std::vector<int>{3, 1}));
+  EXPECT_EQ(hole_count(*e), 2);
+}
+
+TEST(Expr, RepeatedHoleIdCountsOnce) {
+  auto e = add(hole(0), mul(hole(0), sig(Signal::kMss)));
+  EXPECT_EQ(hole_count(*e), 1);
+}
+
+TEST(Expr, EqualityIsStructural) {
+  auto a = add(sig(Signal::kCwnd), constant(1.0));
+  auto b = add(sig(Signal::kCwnd), constant(1.0));
+  auto c = add(sig(Signal::kCwnd), constant(2.0));
+  EXPECT_TRUE(equal(*a, *b));
+  EXPECT_FALSE(equal(*a, *c));
+  EXPECT_FALSE(equal(*a, *sig(Signal::kCwnd)));
+}
+
+TEST(Expr, HashAgreesWithEquality) {
+  auto a = mul(sig(Signal::kAckRate), sig(Signal::kMinRtt));
+  auto b = mul(sig(Signal::kAckRate), sig(Signal::kMinRtt));
+  EXPECT_EQ(hash_expr(*a), hash_expr(*b));
+}
+
+TEST(Expr, FillHolesSubstitutesInOrder) {
+  auto sk = add(mul(hole(0), sig(Signal::kRenoInc)), hole(1));
+  auto h = fill_holes(sk, {0.7, 5.0});
+  EXPECT_EQ(to_string(*h), "(0.7 * reno-inc) + 5");
+  EXPECT_EQ(hole_count(*h), 0);
+}
+
+TEST(Expr, FillHolesReusesSharedIds) {
+  auto sk = add(hole(0), mul(hole(0), sig(Signal::kMss)));
+  auto h = fill_holes(sk, {2.5});
+  EXPECT_EQ(to_string(*h), "2.5 + (2.5 * mss)");
+}
+
+TEST(Expr, ToSketchReplacesConstants) {
+  auto h = add(sig(Signal::kCwnd), mul(constant(0.7), sig(Signal::kRenoInc)));
+  auto sk = to_sketch(h);
+  EXPECT_EQ(hole_count(*sk), 1);
+  EXPECT_EQ(to_string(*sk), "cwnd + (c0 * reno-inc)");
+}
+
+TEST(Expr, ToStringRendersAllOperators) {
+  EXPECT_EQ(to_string(*add(sig(Signal::kCwnd), sig(Signal::kMss))), "cwnd + mss");
+  EXPECT_EQ(to_string(*sub(sig(Signal::kCwnd), sig(Signal::kMss))), "cwnd - mss");
+  EXPECT_EQ(to_string(*div(sig(Signal::kCwnd), sig(Signal::kMss))), "cwnd / mss");
+  EXPECT_EQ(to_string(*cube(sig(Signal::kTimeSinceLoss))), "time-since-loss^3");
+  EXPECT_EQ(to_string(*cbrt(sig(Signal::kCwnd))), "cbrt(cwnd)");
+  EXPECT_EQ(to_string(*mod_eq(sig(Signal::kCwnd), constant(2.7))), "cwnd % 2.7 = 0");
+  EXPECT_EQ(to_string(*cond(lt(sig(Signal::kRtt), constant(1.0)), sig(Signal::kMss),
+                            constant(0.0))),
+            "{rtt < 1} ? mss : 0");
+}
+
+TEST(Expr, OpMetadata) {
+  EXPECT_TRUE(op_returns_bool(Op::kLt));
+  EXPECT_TRUE(op_returns_bool(Op::kModEq));
+  EXPECT_FALSE(op_returns_bool(Op::kAdd));
+  EXPECT_EQ(op_arity(Op::kCond), 3);
+  EXPECT_EQ(op_arity(Op::kCbrt), 1);
+  EXPECT_EQ(op_arity(Op::kMul), 2);
+}
+
+TEST(Expr, SignalMetadata) {
+  EXPECT_TRUE(signal_is_macro(Signal::kRenoInc));
+  EXPECT_TRUE(signal_is_macro(Signal::kVegasDiff));
+  EXPECT_FALSE(signal_is_macro(Signal::kCwnd));
+  EXPECT_STREQ(signal_name(Signal::kAckRate), "ack-rate");
+}
+
+TEST(Expr, SignalsUsedDeduplicates) {
+  auto e = add(sig(Signal::kCwnd), mul(sig(Signal::kCwnd), sig(Signal::kMss)));
+  EXPECT_EQ(signals_used(*e), (std::vector<Signal>{Signal::kCwnd, Signal::kMss}));
+}
+
+TEST(Expr, OpsUsedDeduplicates) {
+  auto e = add(add(sig(Signal::kCwnd), sig(Signal::kMss)), mul(hole(0), sig(Signal::kMss)));
+  EXPECT_EQ(ops_used(*e), (std::vector<Op>{Op::kAdd, Op::kMul}));
+}
+
+TEST(Expr, BoolAndNumKinds) {
+  EXPECT_TRUE(lt(sig(Signal::kRtt), hole(0))->is_bool());
+  EXPECT_FALSE(lt(sig(Signal::kRtt), hole(0))->is_num());
+  EXPECT_TRUE(add(sig(Signal::kRtt), hole(0))->is_num());
+  EXPECT_TRUE(sig(Signal::kCwnd)->is_num());
+}
+
+}  // namespace
+}  // namespace abg::dsl

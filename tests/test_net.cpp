@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "net/event_queue.hpp"
+#include "net/link.hpp"
+#include "net/receiver.hpp"
+#include "net/signal_tracker.hpp"
+
+namespace abg::net {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, BreaksTiesByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&] { ++ran; });
+  q.schedule(5.0, [&] { ++ran; });
+  q.run_until(2.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(0.1, recurse);
+  };
+  q.schedule(0.0, recurse);
+  q.run_until(1.0);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  double seen = -1;
+  q.schedule(1.0, [&] {
+    q.schedule(0.5, [&] { seen = q.now(); });  // in the past
+  });
+  q.run_until(2.0);
+  EXPECT_GE(seen, 1.0);
+}
+
+TEST(Link, AddsSerializationAndPropagationDelay) {
+  util::Rng rng(1);
+  Link link(8e6 /* 1 MB/s */, 0.01, 1e9);
+  auto t = link.transmit(1000.0, 0.0, rng);
+  ASSERT_TRUE(t.has_value());
+  // 1000 bytes at 1 MB/s = 1 ms serialization + 10 ms propagation.
+  EXPECT_NEAR(*t, 0.011, 1e-9);
+}
+
+TEST(Link, QueuesBackToBackPackets) {
+  util::Rng rng(1);
+  Link link(8e6, 0.0, 1e9);
+  auto t1 = link.transmit(1000.0, 0.0, rng);
+  auto t2 = link.transmit(1000.0, 0.0, rng);
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_NEAR(*t2 - *t1, 0.001, 1e-9);  // second waits for the first
+}
+
+TEST(Link, DropsWhenBufferFull) {
+  util::Rng rng(1);
+  Link link(8e3 /* 1 KB/s: slow */, 0.0, 2000.0 /* 2 KB buffer */);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (link.transmit(1000.0, 0.0, rng)) ++delivered;
+  }
+  EXPECT_LT(delivered, 10);
+  EXPECT_GT(link.drops(), 0u);
+  EXPECT_EQ(delivered + static_cast<int>(link.drops()), 10);
+}
+
+TEST(Link, BacklogDrainsOverTime) {
+  util::Rng rng(1);
+  Link link(8e6, 0.0, 1e9);
+  link.transmit(1000.0, 0.0, rng);
+  link.transmit(1000.0, 0.0, rng);
+  EXPECT_GT(link.backlog_bytes(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(link.backlog_bytes(1.0), 0.0);
+}
+
+TEST(Link, RandomLossDropsApproximatelyAtRate) {
+  util::Rng rng(99);
+  Link link(1e12, 0.0, 1e12, 0.3);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!link.transmit(100.0, static_cast<double>(i), rng)) ++dropped;
+  }
+  EXPECT_NEAR(dropped / 10000.0, 0.3, 0.03);
+}
+
+TEST(Receiver, AcksInOrderSegments) {
+  Receiver r;
+  EXPECT_EQ(r.on_segment(0), 1);
+  EXPECT_EQ(r.on_segment(1), 2);
+  EXPECT_EQ(r.on_segment(2), 3);
+}
+
+TEST(Receiver, DuplicateAcksOnGap) {
+  Receiver r;
+  r.on_segment(0);
+  EXPECT_EQ(r.on_segment(2), 1);  // hole at 1 -> dup ACK
+  EXPECT_EQ(r.on_segment(3), 1);
+  EXPECT_EQ(r.on_segment(1), 4);  // hole filled -> cumulative jump
+}
+
+TEST(Receiver, IgnoresSpuriousRetransmit) {
+  Receiver r;
+  r.on_segment(0);
+  r.on_segment(1);
+  EXPECT_EQ(r.on_segment(0), 2);  // old segment re-ACKs frontier
+}
+
+TEST(Receiver, AbsorbsOutOfOrderBurst) {
+  Receiver r;
+  EXPECT_EQ(r.on_segment(3), 0);
+  EXPECT_EQ(r.on_segment(2), 0);
+  EXPECT_EQ(r.on_segment(1), 0);
+  EXPECT_EQ(r.on_segment(0), 4);
+}
+
+TEST(SignalTracker, TracksMinMaxRtt) {
+  SignalTracker t;
+  t.on_rtt_sample(0.05, 1.0);
+  t.on_rtt_sample(0.10, 2.0);
+  t.on_rtt_sample(0.03, 3.0);
+  cca::Signals sig;
+  t.fill(sig, 3.0);
+  EXPECT_DOUBLE_EQ(sig.min_rtt, 0.03);
+  EXPECT_DOUBLE_EQ(sig.max_rtt, 0.10);
+  EXPECT_DOUBLE_EQ(sig.rtt, 0.03);
+}
+
+TEST(SignalTracker, SrttIsEwma) {
+  SignalTracker t;
+  t.on_rtt_sample(0.08, 1.0);
+  EXPECT_DOUBLE_EQ(t.srtt(), 0.08);  // first sample initializes
+  t.on_rtt_sample(0.16, 2.0);
+  EXPECT_NEAR(t.srtt(), 0.08 * 7.0 / 8.0 + 0.16 / 8.0, 1e-12);
+}
+
+TEST(SignalTracker, AckRateApproximatesDeliveryRate) {
+  SignalTracker t;
+  for (int i = 0; i < 200; ++i) {
+    t.on_delivery(1000.0, i * 0.01);  // 1000 bytes per 10 ms = 100 KB/s
+  }
+  EXPECT_NEAR(t.ack_rate(), 100e3, 5e3);
+}
+
+TEST(SignalTracker, GradientPositiveWhenRttRises) {
+  SignalTracker t;
+  for (int i = 0; i < 50; ++i) t.on_rtt_sample(0.05 + i * 0.001, 1.0 + i * 0.01);
+  cca::Signals sig;
+  t.fill(sig, 2.0);
+  EXPECT_GT(sig.rtt_gradient, 0.0);
+}
+
+TEST(SignalTracker, TimeSinceLossAndWmax) {
+  SignalTracker t;
+  t.on_loss(5.0, 123456.0);
+  cca::Signals sig;
+  t.fill(sig, 8.5);
+  EXPECT_DOUBLE_EQ(sig.time_since_loss, 3.5);
+  EXPECT_DOUBLE_EQ(sig.cwnd_at_loss, 123456.0);
+}
+
+}  // namespace
+}  // namespace abg::net

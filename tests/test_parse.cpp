@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "dsl/known_handlers.hpp"
+#include "dsl/parse.hpp"
+
+namespace abg::dsl {
+namespace {
+
+ExprPtr must_parse(const std::string& s) {
+  auto r = parse(s);
+  EXPECT_TRUE(r) << s << " -> " << r.error;
+  return r.expr;
+}
+
+TEST(Parse, Leaves) {
+  EXPECT_TRUE(equal(*must_parse("cwnd"), *sig(Signal::kCwnd)));
+  EXPECT_TRUE(equal(*must_parse("reno-inc"), *sig(Signal::kRenoInc)));
+  EXPECT_TRUE(equal(*must_parse("min-rtt"), *sig(Signal::kMinRtt)));
+  EXPECT_TRUE(equal(*must_parse("42"), *constant(42)));
+  EXPECT_TRUE(equal(*must_parse("-0.7"), *constant(-0.7)));
+  EXPECT_TRUE(equal(*must_parse("c0"), *hole(0)));
+  EXPECT_TRUE(equal(*must_parse("c12"), *hole(12)));
+}
+
+TEST(Parse, PrecedenceMulOverAdd) {
+  auto e = must_parse("cwnd + 0.7 * reno-inc");
+  auto expected = add(sig(Signal::kCwnd), mul(constant(0.7), sig(Signal::kRenoInc)));
+  EXPECT_TRUE(equal(*e, *expected)) << to_string(*e);
+}
+
+TEST(Parse, LeftAssociativity) {
+  auto e = must_parse("1 - 2 - 3");
+  auto expected = sub(sub(constant(1), constant(2)), constant(3));
+  EXPECT_TRUE(equal(*e, *expected));
+}
+
+TEST(Parse, ParenthesesOverride) {
+  auto e = must_parse("(cwnd + mss) * 2");
+  auto expected = mul(add(sig(Signal::kCwnd), sig(Signal::kMss)), constant(2));
+  EXPECT_TRUE(equal(*e, *expected));
+}
+
+TEST(Parse, CubeAndCbrt) {
+  EXPECT_TRUE(equal(*must_parse("time-since-loss^3"), *cube(sig(Signal::kTimeSinceLoss))));
+  EXPECT_TRUE(equal(*must_parse("cbrt(wmax)"), *cbrt(sig(Signal::kWMax))));
+  auto e = must_parse("(2 * rtt)^3");
+  EXPECT_TRUE(equal(*e, *cube(mul(constant(2), sig(Signal::kRtt)))));
+}
+
+TEST(Parse, Conditionals) {
+  auto e = must_parse("{vegas-diff < 1} ? reno-inc : 0");
+  auto expected = cond(lt(sig(Signal::kVegasDiff), constant(1)), sig(Signal::kRenoInc),
+                       constant(0));
+  EXPECT_TRUE(equal(*e, *expected));
+}
+
+TEST(Parse, ModuloCondition) {
+  auto e = must_parse("{rtts-since-loss % 8 = 0} ? 2.6 : 2.05");
+  auto expected = cond(mod_eq(sig(Signal::kRttsSinceLoss), constant(8)), constant(2.6),
+                       constant(2.05));
+  EXPECT_TRUE(equal(*e, *expected));
+}
+
+TEST(Parse, SubtractionVsHyphenatedNames) {
+  // "min-rtt" is one identifier; "min-rtt - rtt" is a subtraction.
+  auto e = must_parse("min-rtt - rtt");
+  EXPECT_TRUE(equal(*e, *sub(sig(Signal::kMinRtt), sig(Signal::kRtt))));
+}
+
+TEST(Parse, RoundTripsEveryKnownHandler) {
+  for (const auto& k : all_known_handlers()) {
+    for (const auto& h : {k.fine_tuned, k.expected_synthesized}) {
+      if (!h) continue;
+      const std::string printed = to_string(*h);
+      auto r = parse(printed);
+      ASSERT_TRUE(r) << k.cca << ": " << printed << " -> " << r.error;
+      EXPECT_TRUE(equal(*r.expr, *h)) << k.cca << ": " << printed << " reparsed as "
+                                      << to_string(*r.expr);
+    }
+  }
+}
+
+TEST(Parse, RoundTripsSketchesWithHoles) {
+  auto sk = add(sig(Signal::kCwnd), mul(hole(0), sig(Signal::kRenoInc)));
+  auto r = parse(to_string(*sk));
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(equal(*r.expr, *sk));
+}
+
+TEST(Parse, RejectsGarbage) {
+  EXPECT_FALSE(parse(""));
+  EXPECT_FALSE(parse("cwnd +"));
+  EXPECT_FALSE(parse("unknown-signal"));
+  EXPECT_FALSE(parse("cwnd + (mss"));
+  EXPECT_FALSE(parse("{cwnd} ? 1 : 2"));          // condition must compare
+  EXPECT_FALSE(parse("{cwnd % 2 = 1} ? 1 : 2"));  // only "= 0" supported
+  EXPECT_FALSE(parse("cwnd^2"));                  // only cube
+  EXPECT_FALSE(parse("cwnd mss"));                // trailing input
+}
+
+TEST(Parse, ErrorsCarryDiagnostics) {
+  auto r = parse("cwnd + (mss");
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error.find("')'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abg::dsl

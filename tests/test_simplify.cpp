@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dsl/simplify.hpp"
+
+namespace abg::dsl {
+namespace {
+
+auto cwnd_s() { return sig(Signal::kCwnd); }
+auto mss_s() { return sig(Signal::kMss); }
+auto rtt_s() { return sig(Signal::kRtt); }
+
+TEST(Simplify, LeavesAreNotSimplifiable) {
+  EXPECT_FALSE(is_simplifiable(*cwnd_s()));
+  EXPECT_FALSE(is_simplifiable(*hole(0)));
+  EXPECT_FALSE(is_simplifiable(*constant(5.0)));
+}
+
+TEST(Simplify, XMinusXFolds) { EXPECT_TRUE(is_simplifiable(*sub(cwnd_s(), cwnd_s()))); }
+TEST(Simplify, XPlusXFolds) { EXPECT_TRUE(is_simplifiable(*add(cwnd_s(), cwnd_s()))); }
+TEST(Simplify, XOverXFolds) { EXPECT_TRUE(is_simplifiable(*div(cwnd_s(), cwnd_s()))); }
+
+TEST(Simplify, ConstantOnlySubtreesFold) {
+  EXPECT_TRUE(is_simplifiable(*add(hole(0), hole(1))));
+  EXPECT_TRUE(is_simplifiable(*mul(constant(2), constant(3))));
+  EXPECT_TRUE(is_simplifiable(*cube(hole(0))));
+  EXPECT_TRUE(is_simplifiable(*mul(cwnd_s(), add(hole(0), hole(1)))));  // nested
+}
+
+TEST(Simplify, ChainCancellationAcrossNesting) {
+  // (acked + reno-inc) - (acked - cwnd) == reno-inc + cwnd.
+  auto e = sub(add(sig(Signal::kAckedBytes), sig(Signal::kRenoInc)),
+               sub(sig(Signal::kAckedBytes), cwnd_s()));
+  EXPECT_TRUE(is_simplifiable(*e));
+}
+
+TEST(Simplify, ChainWithTwoConstantsFolds) {
+  // (reno-inc + c1) - (c2 - cwnd): the two constants merge.
+  auto e = sub(add(sig(Signal::kRenoInc), hole(0)), sub(hole(1), cwnd_s()));
+  EXPECT_TRUE(is_simplifiable(*e));
+}
+
+TEST(Simplify, DistinctChainTermsAreFine) {
+  auto e = sub(add(cwnd_s(), mss_s()), rtt_s());
+  EXPECT_FALSE(is_simplifiable(*e));
+}
+
+TEST(Simplify, RightLeaningAddChainRejected) {
+  EXPECT_TRUE(is_simplifiable(*add(cwnd_s(), add(mss_s(), rtt_s()))));
+  EXPECT_FALSE(is_simplifiable(*add(add(cwnd_s(), mss_s()), rtt_s())));
+}
+
+TEST(Simplify, RightLeaningMulChainRejected) {
+  EXPECT_TRUE(is_simplifiable(*mul(cwnd_s(), mul(mss_s(), rtt_s()))));
+  EXPECT_FALSE(is_simplifiable(*mul(mul(cwnd_s(), mss_s()), rtt_s())));
+}
+
+TEST(Simplify, NestedDivisionRejected) {
+  EXPECT_TRUE(is_simplifiable(*div(div(cwnd_s(), mss_s()), rtt_s())));
+  EXPECT_TRUE(is_simplifiable(*div(cwnd_s(), div(mss_s(), rtt_s()))));
+}
+
+TEST(Simplify, LeafOverConstantRejectedKeepMulForm) {
+  EXPECT_TRUE(is_simplifiable(*div(cwnd_s(), hole(0))));
+  // Compound numerator over a constant is kept (not fewer nodes as mul).
+  EXPECT_FALSE(is_simplifiable(*div(add(cwnd_s(), mss_s()), hole(0))));
+}
+
+TEST(Simplify, IdenticalCondBranchesRejected) {
+  auto c = lt(rtt_s(), hole(0));
+  EXPECT_TRUE(is_simplifiable(*cond(c, cwnd_s(), cwnd_s())));
+  EXPECT_FALSE(is_simplifiable(*cond(c, cwnd_s(), mss_s())));
+}
+
+TEST(Simplify, TrivialComparisonsRejected) {
+  EXPECT_TRUE(is_simplifiable(*lt(cwnd_s(), cwnd_s())));
+  EXPECT_TRUE(is_simplifiable(*gt(rtt_s(), rtt_s())));
+  EXPECT_TRUE(is_simplifiable(*mod_eq(cwnd_s(), cwnd_s())));
+}
+
+TEST(Simplify, CubeCbrtInversesRejected) {
+  EXPECT_TRUE(is_simplifiable(*cube(cbrt(cwnd_s()))));
+  EXPECT_TRUE(is_simplifiable(*cbrt(cube(cwnd_s()))));
+  EXPECT_FALSE(is_simplifiable(*cube(cwnd_s())));
+}
+
+TEST(Simplify, RecursesIntoChildren) {
+  auto bad = add(cwnd_s(), mul(mss_s(), sub(rtt_s(), rtt_s())));
+  EXPECT_TRUE(is_simplifiable(*bad));
+}
+
+TEST(Canonicalize, OrdersCommutativeOperands) {
+  auto a = add(mss_s(), cwnd_s());
+  auto b = add(cwnd_s(), mss_s());
+  EXPECT_TRUE(equal(*canonicalize(a), *canonicalize(b)));
+}
+
+TEST(Canonicalize, LeavesNonCommutativeAlone) {
+  auto a = sub(mss_s(), cwnd_s());
+  auto c = canonicalize(a);
+  EXPECT_EQ(to_string(*c), "mss - cwnd");
+}
+
+TEST(Canonicalize, RecursesThroughTree) {
+  auto a = mul(add(rtt_s(), mss_s()), cwnd_s());
+  auto b = mul(cwnd_s(), add(mss_s(), rtt_s()));
+  EXPECT_TRUE(equal(*canonicalize(a), *canonicalize(b)));
+}
+
+TEST(Compare, IsATotalOrder) {
+  std::vector<ExprPtr> exprs = {cwnd_s(), mss_s(), hole(0), constant(1.0),
+                                add(cwnd_s(), mss_s()), mul(cwnd_s(), mss_s())};
+  for (const auto& a : exprs) {
+    EXPECT_EQ(compare(*a, *a), 0);
+    for (const auto& b : exprs) {
+      EXPECT_EQ(compare(*a, *b), -compare(*b, *a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abg::dsl

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/noise.hpp"
+#include "trace/sampler.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace abg::trace {
+namespace {
+
+Trace make_trace(std::size_t n, const std::vector<std::size_t>& losses = {},
+                 const std::vector<std::size_t>& dups = {}) {
+  Trace t;
+  t.cca_name = "test";
+  t.env.bandwidth_bps = 10e6;
+  t.env.rtt_s = 0.05;
+  for (std::size_t i = 0; i < n; ++i) {
+    AckSample s;
+    s.sig.now = 0.01 * static_cast<double>(i);
+    s.sig.mss = 1448.0;
+    s.sig.cwnd = 1448.0 * (10 + static_cast<double>(i % 50));
+    s.sig.acked_bytes = 1448.0;
+    s.sig.rtt = 0.05;
+    s.cwnd_after = s.sig.cwnd + 1448.0;
+    s.ack_seq = 1448.0 * static_cast<double>(i);
+    s.loss_event = std::find(losses.begin(), losses.end(), i) != losses.end();
+    s.is_dup = std::find(dups.begin(), dups.end(), i) != dups.end();
+    if (s.is_dup) s.sig.acked_bytes = 0.0;
+    t.samples.push_back(s);
+  }
+  return t;
+}
+
+TEST(Trace, SeriesExtraction) {
+  auto t = make_trace(5);
+  EXPECT_EQ(t.cwnd_series().size(), 5u);
+  EXPECT_EQ(t.time_series().size(), 5u);
+  EXPECT_DOUBLE_EQ(t.time_series()[2], 0.02);
+}
+
+TEST(Trace, EnvironmentLabelIsDescriptive) {
+  Environment env;
+  env.bandwidth_bps = 10e6;
+  env.rtt_s = 0.05;
+  env.seed = 3;
+  EXPECT_NE(env.label().find("10.0Mbps"), std::string::npos);
+  EXPECT_NE(env.label().find("50ms"), std::string::npos);
+}
+
+TEST(Segmentation, SplitsAtRecordedLossEvents) {
+  auto t = make_trace(100, {30, 60});
+  auto segs = segment_trace(t, 5);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].samples.size(), 30u);
+  EXPECT_EQ(segs[0].first_index, 0u);
+  EXPECT_EQ(segs[1].first_index, 31u);
+  EXPECT_EQ(segs[2].first_index, 61u);
+}
+
+TEST(Segmentation, DropsShortSegments) {
+  auto t = make_trace(100, {3, 60});
+  auto segs = segment_trace(t, 20);
+  ASSERT_EQ(segs.size(), 2u);  // first 3-sample fragment dropped
+}
+
+TEST(Segmentation, NoLossYieldsSingleSegment) {
+  auto t = make_trace(50);
+  auto segs = segment_trace(t, 5);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].samples.size(), 50u);
+}
+
+TEST(Segmentation, InfersLossFromTripleDupAcks) {
+  auto t = make_trace(100, /*losses=*/{}, /*dups=*/{40, 41, 42, 43});
+  auto events = infer_loss_events(t);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], 42u);  // the third consecutive dup
+  auto segs = segment_trace(t, 5, /*use_recorded_events=*/false);
+  EXPECT_EQ(segs.size(), 2u);
+}
+
+TEST(Segmentation, ShortDupRunsAreNotLosses) {
+  auto t = make_trace(100, {}, {40, 41});
+  EXPECT_TRUE(infer_loss_events(t).empty());
+}
+
+TEST(Segmentation, SegmentAllPoolsAndSkipsFirst) {
+  std::vector<Trace> traces = {make_trace(100, {50}), make_trace(100, {50})};
+  EXPECT_EQ(segment_all(traces, 5).size(), 4u);
+  EXPECT_EQ(segment_all(traces, 5, /*skip_first=*/true).size(), 2u);
+}
+
+TEST(Segmentation, SkipFirstKeepsLossFreeTraces) {
+  std::vector<Trace> traces = {make_trace(50)};
+  EXPECT_EQ(segment_all(traces, 5, /*skip_first=*/true).size(), 1u);
+}
+
+TEST(TrimWarmup, DropsEarlySamples) {
+  auto t = make_trace(100);  // timestamps 0 .. 0.99
+  auto trimmed = trim_warmup(t, 0.5);
+  ASSERT_EQ(trimmed.samples.size(), 50u);
+  EXPECT_GE(trimmed.samples.front().sig.now, 0.5);
+  EXPECT_EQ(trimmed.cca_name, t.cca_name);
+}
+
+TEST(Noise, DropProbabilityThinsSamples) {
+  auto t = make_trace(2000);
+  NoiseConfig cfg;
+  cfg.drop_sample_prob = 0.3;
+  util::Rng rng(5);
+  auto noisy = add_noise(t, cfg, rng);
+  EXPECT_LT(noisy.samples.size(), 1600u);
+  EXPECT_GT(noisy.samples.size(), 1200u);
+}
+
+TEST(Noise, RttJitterStaysPositiveAndBounded) {
+  auto t = make_trace(500);
+  NoiseConfig cfg;
+  cfg.rtt_jitter_frac = 0.2;
+  util::Rng rng(5);
+  auto noisy = add_noise(t, cfg, rng);
+  ASSERT_EQ(noisy.samples.size(), t.samples.size());
+  for (std::size_t i = 0; i < noisy.samples.size(); ++i) {
+    EXPECT_GT(noisy.samples[i].sig.rtt, 0.0);
+    EXPECT_NEAR(noisy.samples[i].sig.rtt, t.samples[i].sig.rtt, 0.05 * 0.2 + 1e-9);
+  }
+}
+
+TEST(Noise, TimeJitterPreservesMonotonicity) {
+  auto t = make_trace(500);
+  NoiseConfig cfg;
+  cfg.time_jitter_s = 0.02;  // larger than the 10ms sample spacing
+  util::Rng rng(5);
+  auto noisy = add_noise(t, cfg, rng);
+  for (std::size_t i = 1; i < noisy.samples.size(); ++i) {
+    EXPECT_GT(noisy.samples[i].sig.now, noisy.samples[i - 1].sig.now);
+  }
+}
+
+TEST(Noise, ZeroConfigIsIdentity) {
+  auto t = make_trace(100);
+  util::Rng rng(5);
+  auto noisy = add_noise(t, NoiseConfig{}, rng);
+  ASSERT_EQ(noisy.samples.size(), t.samples.size());
+  EXPECT_DOUBLE_EQ(noisy.samples[50].cwnd_after, t.samples[50].cwnd_after);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  auto t = make_trace(20, {10}, {5});
+  t.cca_name = "reno";
+  t.env.seed = 77;
+  auto parsed = from_csv(to_csv(t));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cca_name, "reno");
+  EXPECT_EQ(parsed->env.seed, 77u);
+  ASSERT_EQ(parsed->samples.size(), t.samples.size());
+  EXPECT_DOUBLE_EQ(parsed->samples[7].cwnd_after, t.samples[7].cwnd_after);
+  EXPECT_EQ(parsed->samples[10].loss_event, true);
+  EXPECT_EQ(parsed->samples[5].is_dup, true);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  EXPECT_FALSE(from_csv("not,a,trace\n1,2,3\n").has_value());
+  EXPECT_FALSE(from_csv("").has_value());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  auto t = make_trace(10);
+  const std::string path = testing::TempDir() + "/abg_trace_test.csv";
+  ASSERT_TRUE(save_csv(t, path));
+  auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->samples.size(), 10u);
+}
+
+double mean_cwnd(const Segment& s) {
+  double sum = 0;
+  for (const auto& x : s.samples) sum += x.cwnd_after;
+  return sum / static_cast<double>(s.samples.size());
+}
+
+TEST(Sampler, SelectsRequestedCount) {
+  std::vector<Trace> traces = {make_trace(300, {50, 100, 150, 200, 250})};
+  auto segs = segment_all(traces, 10);
+  ASSERT_GE(segs.size(), 5u);
+  auto dist = [](const Segment& a, const Segment& b) {
+    return std::fabs(mean_cwnd(a) - mean_cwnd(b));
+  };
+  util::Rng rng(1);
+  auto sel = select_diverse_segments(segs, 4, dist, rng);
+  EXPECT_EQ(sel.size(), 4u);
+  std::set<std::size_t> uniq(sel.begin(), sel.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(Sampler, CapsAtPoolSize) {
+  std::vector<Trace> traces = {make_trace(100, {50})};
+  auto segs = segment_all(traces, 10);
+  auto dist = [](const Segment&, const Segment&) { return 1.0; };
+  util::Rng rng(1);
+  EXPECT_EQ(select_diverse_segments(segs, 50, dist, rng).size(), segs.size());
+}
+
+TEST(Sampler, GrowIsIncremental) {
+  std::vector<Trace> traces = {make_trace(400, {50, 100, 150, 200, 250, 300, 350})};
+  auto segs = segment_all(traces, 10);
+  auto dist = [](const Segment& a, const Segment& b) {
+    return std::fabs(mean_cwnd(a) - mean_cwnd(b));
+  };
+  SegmentSampler sampler(&segs, dist, 9);
+  sampler.grow_to(2);
+  auto first = sampler.selected();
+  sampler.grow_to(4);
+  auto second = sampler.selected();
+  ASSERT_EQ(second.size(), 4u);
+  // The first two picks are preserved.
+  EXPECT_EQ(std::vector<std::size_t>(second.begin(), second.begin() + 2), first);
+}
+
+TEST(Sampler, SecondPickIsFarthestFromFirst) {
+  // Segments with means 10, 11, 12, ..., plus one extreme outlier.
+  std::vector<Segment> segs;
+  for (int i = 0; i < 6; ++i) {
+    Segment s;
+    for (int j = 0; j < 5; ++j) {
+      AckSample a;
+      a.cwnd_after = (i == 5 ? 1000.0 : 10.0 + i);
+      s.samples.push_back(a);
+    }
+    segs.push_back(std::move(s));
+  }
+  auto dist = [](const Segment& a, const Segment& b) {
+    return std::fabs(mean_cwnd(a) - mean_cwnd(b));
+  };
+  util::Rng rng(2);
+  auto sel = select_diverse_segments(segs, 2, dist, rng);
+  ASSERT_EQ(sel.size(), 2u);
+  // Whatever the random first pick was, the greedy second pick must be the
+  // outlier (or the random pick itself was the outlier and the farthest is
+  // any normal one).
+  const bool outlier_in = sel[0] == 5 || sel[1] == 5;
+  EXPECT_TRUE(outlier_in);
+}
+
+}  // namespace
+}  // namespace abg::trace

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "dsl/known_handlers.hpp"
+#include "dsl/units.hpp"
+
+namespace abg::dsl {
+namespace {
+
+TEST(Units, SignalUnitsAreCorrect) {
+  EXPECT_EQ(signal_unit(Signal::kCwnd), (UnitVec{1, 0}));
+  EXPECT_EQ(signal_unit(Signal::kMss), (UnitVec{1, 0}));
+  EXPECT_EQ(signal_unit(Signal::kRtt), (UnitVec{0, 1}));
+  EXPECT_EQ(signal_unit(Signal::kAckRate), (UnitVec{1, -1}));
+  EXPECT_EQ(signal_unit(Signal::kRenoInc), (UnitVec{1, 0}));
+  EXPECT_EQ(signal_unit(Signal::kVegasDiff), (UnitVec{0, 0}));
+  EXPECT_EQ(signal_unit(Signal::kRttGradient), (UnitVec{0, 0}));
+}
+
+TEST(Units, ConcreteInferenceAddRequiresSameUnits) {
+  EXPECT_TRUE(infer_unit_concrete(*add(sig(Signal::kCwnd), sig(Signal::kMss))).has_value());
+  EXPECT_FALSE(infer_unit_concrete(*add(sig(Signal::kCwnd), sig(Signal::kRtt))).has_value());
+}
+
+TEST(Units, ConcreteInferenceMulAddsExponents) {
+  auto u = infer_unit_concrete(*mul(sig(Signal::kAckRate), sig(Signal::kMinRtt)));
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, (UnitVec{1, 0}));  // bytes/s * s = bytes
+}
+
+TEST(Units, ConcreteInferenceDivSubtractsExponents) {
+  auto u = infer_unit_concrete(*div(sig(Signal::kCwnd), sig(Signal::kRtt)));
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, (UnitVec{1, -1}));  // a rate
+}
+
+TEST(Units, CubeTriplesExponents) {
+  auto u = infer_unit_concrete(*cube(sig(Signal::kRtt)));
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, (UnitVec{0, 3}));
+}
+
+TEST(Units, CbrtRequiresDivisibleExponents) {
+  // cbrt(rtt) would have unit s^(1/3): rejected under integer units (§5.5).
+  EXPECT_FALSE(infer_unit_concrete(*cbrt(sig(Signal::kRtt))).has_value());
+  EXPECT_TRUE(infer_unit_concrete(*cbrt(cube(sig(Signal::kRtt)))).has_value());
+}
+
+TEST(Units, ComparisonRequiresSameUnits) {
+  EXPECT_TRUE(infer_unit_concrete(
+                  *cond(lt(sig(Signal::kRtt), sig(Signal::kMinRtt)), sig(Signal::kCwnd),
+                        sig(Signal::kMss)))
+                  .has_value());
+  EXPECT_FALSE(infer_unit_concrete(
+                   *cond(lt(sig(Signal::kRtt), sig(Signal::kCwnd)), sig(Signal::kCwnd),
+                         sig(Signal::kMss)))
+                   .has_value());
+}
+
+TEST(Units, UnitCheckAcceptsBytesOutput) {
+  EXPECT_TRUE(unit_check(*add(sig(Signal::kCwnd), sig(Signal::kRenoInc))));
+  EXPECT_FALSE(unit_check(*sig(Signal::kRtt)));  // seconds, not bytes
+}
+
+TEST(Units, HolesArePolymorphic) {
+  // Hybla's handler: cwnd + c * rtt * reno-inc type-checks because the hole
+  // can absorb 1/seconds (§5.3's "8 * RTT * reno-inc").
+  auto e = add(sig(Signal::kCwnd), mul(hole(0), mul(sig(Signal::kRtt), sig(Signal::kRenoInc))));
+  EXPECT_TRUE(unit_check(*e));
+}
+
+TEST(Units, HolePolymorphismIsBounded) {
+  // rtt^3 * c needs c with unit s^-3 — outside the +/-2 exponent range.
+  auto e = mul(hole(0), mul(sig(Signal::kRtt), cube(sig(Signal::kRtt))));
+  EXPECT_FALSE(unit_check(*e));
+}
+
+TEST(Units, BareHoleIsBytesCapable) {
+  EXPECT_TRUE(unit_check(*hole(0)));  // a constant window in bytes
+}
+
+TEST(Units, RejectsInconsistentConditionGuard) {
+  auto e = cond(lt(sig(Signal::kRtt), sig(Signal::kCwnd)), sig(Signal::kCwnd),
+                sig(Signal::kCwnd));
+  EXPECT_FALSE(unit_check(*e));
+}
+
+TEST(Units, FineTunedHandlersUnitCheck) {
+  // Every fine-tuned handler from Table 2 must pass the unit checker after
+  // its constants are re-abstracted into holes (constants absorb units).
+  for (const auto& k : all_known_handlers()) {
+    if (!k.fine_tuned) continue;
+    if (k.cca == "cubic") continue;  // Cubic ran with units disabled (§5.5)
+    EXPECT_TRUE(unit_check(*to_sketch(k.fine_tuned))) << k.cca;
+  }
+}
+
+TEST(Units, BoolRootedExpressionsHaveNoUnit) {
+  EXPECT_FALSE(unit_check(*lt(sig(Signal::kRtt), sig(Signal::kMinRtt))));
+  EXPECT_FALSE(infer_unit_concrete(*lt(sig(Signal::kRtt), sig(Signal::kMinRtt))).has_value());
+}
+
+}  // namespace
+}  // namespace abg::dsl

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abg::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng r(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(1.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialPositiveWithRoughMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(2.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng r(19);
+  auto idx = r.sample_indices(10, 5);
+  ASSERT_EQ(idx.size(), 5u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 5u);
+  for (auto i : idx) EXPECT_LT(i, 10u);
+}
+
+TEST(Rng, SampleIndicesCapsAtN) {
+  Rng r(19);
+  EXPECT_EQ(r.sample_indices(3, 10).size(), 3u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(Csv, RoundTripsSimpleRows) {
+  CsvWriter w;
+  w.add_row({"a", "b", "c"});
+  w.add_row({"1", "2", "3"});
+  auto rows = parse_csv(w.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, QuotesFieldsWithSeparators) {
+  CsvWriter w;
+  w.add_row({"x,y", "plain", "has\"quote"});
+  auto rows = parse_csv(w.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][2], "has\"quote");
+}
+
+TEST(Csv, NumericRowsRoundTripPrecisely) {
+  CsvWriter w;
+  w.add_row_numeric({1.0 / 3.0, 1e-9, 123456789.123});
+  auto rows = parse_csv(w.str());
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_NEAR(std::stod(rows[0][0]), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(std::stod(rows[0][1]), 1e-9, 1e-18);
+}
+
+TEST(Csv, ParsesCrlf) {
+  auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace abg::util
