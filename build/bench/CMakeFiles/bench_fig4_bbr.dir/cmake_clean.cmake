@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bbr.dir/bench_fig4_bbr.cpp.o"
+  "CMakeFiles/bench_fig4_bbr.dir/bench_fig4_bbr.cpp.o.d"
+  "bench_fig4_bbr"
+  "bench_fig4_bbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_htcp.dir/bench_fig5_htcp.cpp.o"
+  "CMakeFiles/bench_fig5_htcp.dir/bench_fig5_htcp.cpp.o.d"
+  "bench_fig5_htcp"
+  "bench_fig5_htcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_htcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_search_efficiency.dir/bench_sec61_search_efficiency.cpp.o"
+  "CMakeFiles/bench_sec61_search_efficiency.dir/bench_sec61_search_efficiency.cpp.o.d"
+  "bench_sec61_search_efficiency"
+  "bench_sec61_search_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_search_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_classifier.dir/bench_table3_classifier.cpp.o"
+  "CMakeFiles/bench_table3_classifier.dir/bench_table3_classifier.cpp.o.d"
+  "bench_table3_classifier"
+  "bench_table3_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

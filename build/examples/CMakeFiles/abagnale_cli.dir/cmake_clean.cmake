@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abagnale_cli.dir/abagnale_cli.cpp.o"
+  "CMakeFiles/abagnale_cli.dir/abagnale_cli.cpp.o.d"
+  "abagnale_cli"
+  "abagnale_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abagnale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

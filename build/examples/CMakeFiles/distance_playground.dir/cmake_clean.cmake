@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_playground.dir/distance_playground.cpp.o"
+  "CMakeFiles/distance_playground.dir/distance_playground.cpp.o.d"
+  "distance_playground"
+  "distance_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

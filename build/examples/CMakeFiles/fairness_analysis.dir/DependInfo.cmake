@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fairness_analysis.cpp" "examples/CMakeFiles/fairness_analysis.dir/fairness_analysis.cpp.o" "gcc" "examples/CMakeFiles/fairness_analysis.dir/fairness_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/abg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/abg_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/abg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/abg_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/abg_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/abg_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_analysis.dir/fairness_analysis.cpp.o"
+  "CMakeFiles/fairness_analysis.dir/fairness_analysis.cpp.o.d"
+  "fairness_analysis"
+  "fairness_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_engineer_unknown.dir/reverse_engineer_unknown.cpp.o"
+  "CMakeFiles/reverse_engineer_unknown.dir/reverse_engineer_unknown.cpp.o.d"
+  "reverse_engineer_unknown"
+  "reverse_engineer_unknown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_engineer_unknown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_collect.dir/trace_collect.cpp.o"
+  "CMakeFiles/trace_collect.dir/trace_collect.cpp.o.d"
+  "trace_collect"
+  "trace_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cca/bbr.cpp" "src/cca/CMakeFiles/abg_cca.dir/bbr.cpp.o" "gcc" "src/cca/CMakeFiles/abg_cca.dir/bbr.cpp.o.d"
+  "/root/repo/src/cca/cca.cpp" "src/cca/CMakeFiles/abg_cca.dir/cca.cpp.o" "gcc" "src/cca/CMakeFiles/abg_cca.dir/cca.cpp.o.d"
+  "/root/repo/src/cca/cubic_family.cpp" "src/cca/CMakeFiles/abg_cca.dir/cubic_family.cpp.o" "gcc" "src/cca/CMakeFiles/abg_cca.dir/cubic_family.cpp.o.d"
+  "/root/repo/src/cca/delay_family.cpp" "src/cca/CMakeFiles/abg_cca.dir/delay_family.cpp.o" "gcc" "src/cca/CMakeFiles/abg_cca.dir/delay_family.cpp.o.d"
+  "/root/repo/src/cca/reno_family.cpp" "src/cca/CMakeFiles/abg_cca.dir/reno_family.cpp.o" "gcc" "src/cca/CMakeFiles/abg_cca.dir/reno_family.cpp.o.d"
+  "/root/repo/src/cca/student.cpp" "src/cca/CMakeFiles/abg_cca.dir/student.cpp.o" "gcc" "src/cca/CMakeFiles/abg_cca.dir/student.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_cca.dir/bbr.cpp.o"
+  "CMakeFiles/abg_cca.dir/bbr.cpp.o.d"
+  "CMakeFiles/abg_cca.dir/cca.cpp.o"
+  "CMakeFiles/abg_cca.dir/cca.cpp.o.d"
+  "CMakeFiles/abg_cca.dir/cubic_family.cpp.o"
+  "CMakeFiles/abg_cca.dir/cubic_family.cpp.o.d"
+  "CMakeFiles/abg_cca.dir/delay_family.cpp.o"
+  "CMakeFiles/abg_cca.dir/delay_family.cpp.o.d"
+  "CMakeFiles/abg_cca.dir/reno_family.cpp.o"
+  "CMakeFiles/abg_cca.dir/reno_family.cpp.o.d"
+  "CMakeFiles/abg_cca.dir/student.cpp.o"
+  "CMakeFiles/abg_cca.dir/student.cpp.o.d"
+  "libabg_cca.a"
+  "libabg_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_classify.dir/classifier.cpp.o"
+  "CMakeFiles/abg_classify.dir/classifier.cpp.o.d"
+  "libabg_classify.a"
+  "libabg_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_core.dir/abagnale.cpp.o"
+  "CMakeFiles/abg_core.dir/abagnale.cpp.o.d"
+  "CMakeFiles/abg_core.dir/handler_cca.cpp.o"
+  "CMakeFiles/abg_core.dir/handler_cca.cpp.o.d"
+  "libabg_core.a"
+  "libabg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_distance.dir/distance.cpp.o"
+  "CMakeFiles/abg_distance.dir/distance.cpp.o.d"
+  "libabg_distance.a"
+  "libabg_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/dsl.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/dsl.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/dsl.cpp.o.d"
+  "/root/repo/src/dsl/eval.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/eval.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/eval.cpp.o.d"
+  "/root/repo/src/dsl/expr.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/expr.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/expr.cpp.o.d"
+  "/root/repo/src/dsl/known_handlers.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/known_handlers.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/known_handlers.cpp.o.d"
+  "/root/repo/src/dsl/parse.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/parse.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/parse.cpp.o.d"
+  "/root/repo/src/dsl/simplify.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/simplify.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/simplify.cpp.o.d"
+  "/root/repo/src/dsl/units.cpp" "src/dsl/CMakeFiles/abg_dsl.dir/units.cpp.o" "gcc" "src/dsl/CMakeFiles/abg_dsl.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/abg_cca.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_dsl.dir/dsl.cpp.o"
+  "CMakeFiles/abg_dsl.dir/dsl.cpp.o.d"
+  "CMakeFiles/abg_dsl.dir/eval.cpp.o"
+  "CMakeFiles/abg_dsl.dir/eval.cpp.o.d"
+  "CMakeFiles/abg_dsl.dir/expr.cpp.o"
+  "CMakeFiles/abg_dsl.dir/expr.cpp.o.d"
+  "CMakeFiles/abg_dsl.dir/known_handlers.cpp.o"
+  "CMakeFiles/abg_dsl.dir/known_handlers.cpp.o.d"
+  "CMakeFiles/abg_dsl.dir/parse.cpp.o"
+  "CMakeFiles/abg_dsl.dir/parse.cpp.o.d"
+  "CMakeFiles/abg_dsl.dir/simplify.cpp.o"
+  "CMakeFiles/abg_dsl.dir/simplify.cpp.o.d"
+  "CMakeFiles/abg_dsl.dir/units.cpp.o"
+  "CMakeFiles/abg_dsl.dir/units.cpp.o.d"
+  "libabg_dsl.a"
+  "libabg_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

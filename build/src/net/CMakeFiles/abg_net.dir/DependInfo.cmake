@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/duel.cpp" "src/net/CMakeFiles/abg_net.dir/duel.cpp.o" "gcc" "src/net/CMakeFiles/abg_net.dir/duel.cpp.o.d"
+  "/root/repo/src/net/event_queue.cpp" "src/net/CMakeFiles/abg_net.dir/event_queue.cpp.o" "gcc" "src/net/CMakeFiles/abg_net.dir/event_queue.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/abg_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/abg_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/receiver.cpp" "src/net/CMakeFiles/abg_net.dir/receiver.cpp.o" "gcc" "src/net/CMakeFiles/abg_net.dir/receiver.cpp.o.d"
+  "/root/repo/src/net/signal_tracker.cpp" "src/net/CMakeFiles/abg_net.dir/signal_tracker.cpp.o" "gcc" "src/net/CMakeFiles/abg_net.dir/signal_tracker.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/abg_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/abg_net.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/abg_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_net.dir/duel.cpp.o"
+  "CMakeFiles/abg_net.dir/duel.cpp.o.d"
+  "CMakeFiles/abg_net.dir/event_queue.cpp.o"
+  "CMakeFiles/abg_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/abg_net.dir/link.cpp.o"
+  "CMakeFiles/abg_net.dir/link.cpp.o.d"
+  "CMakeFiles/abg_net.dir/receiver.cpp.o"
+  "CMakeFiles/abg_net.dir/receiver.cpp.o.d"
+  "CMakeFiles/abg_net.dir/signal_tracker.cpp.o"
+  "CMakeFiles/abg_net.dir/signal_tracker.cpp.o.d"
+  "CMakeFiles/abg_net.dir/simulator.cpp.o"
+  "CMakeFiles/abg_net.dir/simulator.cpp.o.d"
+  "libabg_net.a"
+  "libabg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

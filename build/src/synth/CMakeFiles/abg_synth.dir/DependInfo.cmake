@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/buckets.cpp" "src/synth/CMakeFiles/abg_synth.dir/buckets.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/buckets.cpp.o.d"
+  "/root/repo/src/synth/concretize.cpp" "src/synth/CMakeFiles/abg_synth.dir/concretize.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/concretize.cpp.o.d"
+  "/root/repo/src/synth/enumerator.cpp" "src/synth/CMakeFiles/abg_synth.dir/enumerator.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/enumerator.cpp.o.d"
+  "/root/repo/src/synth/event_replay.cpp" "src/synth/CMakeFiles/abg_synth.dir/event_replay.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/event_replay.cpp.o.d"
+  "/root/repo/src/synth/mister880.cpp" "src/synth/CMakeFiles/abg_synth.dir/mister880.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/mister880.cpp.o.d"
+  "/root/repo/src/synth/refinement.cpp" "src/synth/CMakeFiles/abg_synth.dir/refinement.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/refinement.cpp.o.d"
+  "/root/repo/src/synth/replay.cpp" "src/synth/CMakeFiles/abg_synth.dir/replay.cpp.o" "gcc" "src/synth/CMakeFiles/abg_synth.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/abg_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/abg_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/abg_distance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_synth.dir/buckets.cpp.o"
+  "CMakeFiles/abg_synth.dir/buckets.cpp.o.d"
+  "CMakeFiles/abg_synth.dir/concretize.cpp.o"
+  "CMakeFiles/abg_synth.dir/concretize.cpp.o.d"
+  "CMakeFiles/abg_synth.dir/enumerator.cpp.o"
+  "CMakeFiles/abg_synth.dir/enumerator.cpp.o.d"
+  "CMakeFiles/abg_synth.dir/event_replay.cpp.o"
+  "CMakeFiles/abg_synth.dir/event_replay.cpp.o.d"
+  "CMakeFiles/abg_synth.dir/mister880.cpp.o"
+  "CMakeFiles/abg_synth.dir/mister880.cpp.o.d"
+  "CMakeFiles/abg_synth.dir/refinement.cpp.o"
+  "CMakeFiles/abg_synth.dir/refinement.cpp.o.d"
+  "CMakeFiles/abg_synth.dir/replay.cpp.o"
+  "CMakeFiles/abg_synth.dir/replay.cpp.o.d"
+  "libabg_synth.a"
+  "libabg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_trace.dir/noise.cpp.o"
+  "CMakeFiles/abg_trace.dir/noise.cpp.o.d"
+  "CMakeFiles/abg_trace.dir/sampler.cpp.o"
+  "CMakeFiles/abg_trace.dir/sampler.cpp.o.d"
+  "CMakeFiles/abg_trace.dir/trace.cpp.o"
+  "CMakeFiles/abg_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/abg_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/abg_trace.dir/trace_io.cpp.o.d"
+  "libabg_trace.a"
+  "libabg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabg_trace.a"
+)

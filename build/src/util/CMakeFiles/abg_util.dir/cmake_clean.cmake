@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_util.dir/csv.cpp.o"
+  "CMakeFiles/abg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/abg_util.dir/log.cpp.o"
+  "CMakeFiles/abg_util.dir/log.cpp.o.d"
+  "CMakeFiles/abg_util.dir/rng.cpp.o"
+  "CMakeFiles/abg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/abg_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/abg_util.dir/thread_pool.cpp.o.d"
+  "libabg_util.a"
+  "libabg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

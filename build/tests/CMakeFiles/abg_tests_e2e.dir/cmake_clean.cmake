@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_tests_e2e.dir/test_pipeline.cpp.o"
+  "CMakeFiles/abg_tests_e2e.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/abg_tests_e2e.dir/test_refinement.cpp.o"
+  "CMakeFiles/abg_tests_e2e.dir/test_refinement.cpp.o.d"
+  "abg_tests_e2e"
+  "abg_tests_e2e.pdb"
+  "abg_tests_e2e[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_tests_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

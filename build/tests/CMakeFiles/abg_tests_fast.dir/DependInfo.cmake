@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cca.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_cca.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_cca.cpp.o.d"
+  "/root/repo/tests/test_distance.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_distance.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_distance.cpp.o.d"
+  "/root/repo/tests/test_dsl.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_dsl.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_dsl.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_event_queue_stress.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_event_queue_stress.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_event_queue_stress.cpp.o.d"
+  "/root/repo/tests/test_expr.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_expr.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_expr.cpp.o.d"
+  "/root/repo/tests/test_expr_property.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_expr_property.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_expr_property.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_parse.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_parse.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_parse.cpp.o.d"
+  "/root/repo/tests/test_simplify.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_simplify.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/abg_tests_fast.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/abg_tests_fast.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/abg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/abg_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/abg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/abg_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/abg_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/abg_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_tests_fast.dir/test_cca.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_cca.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_distance.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_distance.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_dsl.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_dsl.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_eval.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_eval.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_event_queue_stress.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_event_queue_stress.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_expr.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_expr.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_expr_property.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_expr_property.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_net.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_net.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_parse.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_parse.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_simplify.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_simplify.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_trace.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_trace.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_units.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_units.cpp.o.d"
+  "CMakeFiles/abg_tests_fast.dir/test_util.cpp.o"
+  "CMakeFiles/abg_tests_fast.dir/test_util.cpp.o.d"
+  "abg_tests_fast"
+  "abg_tests_fast.pdb"
+  "abg_tests_fast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_tests_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

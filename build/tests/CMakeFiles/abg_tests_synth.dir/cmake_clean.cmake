@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abg_tests_synth.dir/test_duel.cpp.o"
+  "CMakeFiles/abg_tests_synth.dir/test_duel.cpp.o.d"
+  "CMakeFiles/abg_tests_synth.dir/test_enumerator.cpp.o"
+  "CMakeFiles/abg_tests_synth.dir/test_enumerator.cpp.o.d"
+  "CMakeFiles/abg_tests_synth.dir/test_extensions.cpp.o"
+  "CMakeFiles/abg_tests_synth.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/abg_tests_synth.dir/test_simulator.cpp.o"
+  "CMakeFiles/abg_tests_synth.dir/test_simulator.cpp.o.d"
+  "CMakeFiles/abg_tests_synth.dir/test_synth.cpp.o"
+  "CMakeFiles/abg_tests_synth.dir/test_synth.cpp.o.d"
+  "abg_tests_synth"
+  "abg_tests_synth.pdb"
+  "abg_tests_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abg_tests_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

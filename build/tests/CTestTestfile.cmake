@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/abg_tests_fast[1]_include.cmake")
+include("/root/repo/build/tests/abg_tests_synth[1]_include.cmake")
+include("/root/repo/build/tests/abg_tests_e2e[1]_include.cmake")
