@@ -5,6 +5,7 @@
 //   full            — paper-scale depth/sample budgets (hours).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,6 +14,7 @@
 #include "core/abagnale.hpp"
 #include "dsl/known_handlers.hpp"
 #include "net/simulator.hpp"
+#include "obs/report.hpp"
 #include "synth/refinement.hpp"
 #include "synth/replay.hpp"
 #include "trace/trace.hpp"
@@ -117,10 +119,31 @@ inline void rule(char c = '-', int width = 118) {
   std::putchar('\n');
 }
 
+// "Table 2 — synthesized vs ..." -> "table_2_synthesized_vs_..." (truncated).
+inline std::string slug(const std::string& title) {
+  std::string out;
+  bool gap = false;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (gap && !out.empty()) out += '_';
+      gap = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      gap = true;
+    }
+    if (out.size() >= 48) break;
+  }
+  return out.empty() ? "bench" : out;
+}
+
 inline void banner(const std::string& title) {
   rule('=');
   std::printf("%s   [scale=%s]\n", title.c_str(), full_scale() ? "full" : "quick");
   rule('=');
+  // Every bench leaves an obs run report next to its printed table, so the
+  // recorded BENCH_* trajectories carry counter context (handlers scored,
+  // DTW evals, sim packets) alongside the numbers.
+  obs::write_metrics_json_at_exit(slug(title) + ".metrics.json");
 }
 
 }  // namespace abg::bench

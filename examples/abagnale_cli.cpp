@@ -8,14 +8,25 @@
 //   abagnale_cli classify <trace.csv>...
 //   abagnale_cli synthesize [--dsl <name>] [--timeout <s>] <trace.csv>...
 //   abagnale_cli match <cca> <trace.csv>...   (score a known CCA's handler)
+//
+// Observability (synthesize/classify/match — may appear anywhere on the line):
+//   --metrics-out <m.json>   write a JSON run report of every obs counter/
+//                            gauge/histogram the run touched
+//   --trace-out <t.json>     record Chrome trace-event spans (refinement
+//                            iterations, per-bucket scoring, pool tasks);
+//                            open the file in chrome://tracing or Perfetto
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "classify/classifier.hpp"
 #include "core/abagnale.hpp"
 #include "dsl/known_handlers.hpp"
 #include "net/simulator.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_events.hpp"
 #include "synth/replay.hpp"
 #include "trace/trace_io.hpp"
 #include "util/log.hpp"
@@ -31,7 +42,10 @@ int usage() {
                "  abagnale_cli collect <cca> <out.csv> [bw_mbps rtt_ms dur_s loss xt_mbps]\n"
                "  abagnale_cli classify <trace.csv>...\n"
                "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] <trace.csv>...\n"
-               "  abagnale_cli match <cca> <trace.csv>...\n");
+               "  abagnale_cli match <cca> <trace.csv>...\n"
+               "observability options (classify/synthesize/match, anywhere on the line):\n"
+               "  --metrics-out <m.json>  JSON run report: counters/gauges/histograms\n"
+               "  --trace-out <t.json>    Chrome trace-event spans (chrome://tracing, Perfetto)\n");
   return 2;
 }
 
@@ -112,7 +126,7 @@ int cmd_synthesize(int argc, char** argv) {
   }
   auto traces = load_all(argc, argv, first);
   if (traces.empty()) return 1;
-  util::set_log_level(util::LogLevel::kInfo);
+  if (!util::log_level_from_env()) util::set_log_level(util::LogLevel::kInfo);
   core::Abagnale pipeline(opts);
   auto result = pipeline.run(traces);
   if (!result.found()) {
@@ -148,12 +162,50 @@ int cmd_match(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  if (cmd == "list") return cmd_list();
-  if (cmd == "collect") return cmd_collect(argc, argv);
-  if (cmd == "classify") return cmd_classify(argc, argv);
-  if (cmd == "synthesize") return cmd_synthesize(argc, argv);
-  if (cmd == "match") return cmd_match(argc, argv);
-  return usage();
+
+  // Extract the observability flags first so every subcommand's own argv
+  // parsing sees the command line it always did.
+  std::string metrics_out, trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) return usage();
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+
+  const std::string cmd = args[1];
+  int rc = 2;
+  if (cmd == "list") rc = cmd_list();
+  else if (cmd == "collect") rc = cmd_collect(nargs, args.data());
+  else if (cmd == "classify") rc = cmd_classify(nargs, args.data());
+  else if (cmd == "synthesize") rc = cmd_synthesize(nargs, args.data());
+  else if (cmd == "match") rc = cmd_match(nargs, args.data());
+  else return usage();
+
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_json(metrics_out)) {
+      std::printf("metrics report: %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics report %s\n", metrics_out.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    if (obs::write_trace_json(trace_out)) {
+      std::printf("trace events: %s (%zu events; open in chrome://tracing or Perfetto)\n",
+                  trace_out.c_str(), obs::trace_event_count());
+    } else {
+      std::fprintf(stderr, "failed to write trace file %s\n", trace_out.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

@@ -1,8 +1,15 @@
 #!/bin/bash
-# Regenerates test_output.txt and bench_output.txt (the recorded runs).
+# Regenerates test_output.txt and bench_output.txt (the recorded runs), then
+# re-runs the tier-1 tests under AddressSanitizer so the obs registry
+# atomics, trace recorder, and thread-pool instrumentation are exercised
+# under ASan on every recorded run.
 cd /root/repo
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then "$b"; fi
 done 2>&1 | tee /root/repo/bench_output.txt
+
+cmake -B build-asan -S . -DABG_SANITIZE=address
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j 2>&1 | tee /root/repo/asan_output.txt
 echo "ALL-RUNS-COMPLETE"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/registry.hpp"
+
 namespace abg::distance {
 
 const char* metric_name(Metric m) {
@@ -51,6 +53,7 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
                     : m + n;
   std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
   prev[0] = 0.0;
+  std::uint64_t cells = 0;  // DP cells actually visited (band-aware)
   for (std::size_t i = 1; i <= n; ++i) {
     std::fill(cur.begin(), cur.end(), kInf);
     // Band around the diagonal j ~ i * m / n.
@@ -63,8 +66,14 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
       const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
       if (best < kInf) cur[j] = cost + best;
     }
+    if (j_hi >= j_lo) cells += j_hi - j_lo + 1;
     std::swap(prev, cur);
   }
+  // One relaxed add per eval, not per cell: counting stays off the DP loop.
+  static auto& c_evals = obs::counter("distance.dtw_evals");
+  static auto& c_cells = obs::counter("distance.dtw_cells");
+  c_evals.add();
+  c_cells.add(cells);
   // Normalize by path length scale so distances are comparable across
   // segment sizes.
   const double d = prev[m];
@@ -153,6 +162,8 @@ double correlation_distance(std::span<const double> a, std::span<const double> b
 
 double compute(Metric m, std::span<const double> a, std::span<const double> b,
                const DistanceOptions& opts) {
+  static auto& c_evals = obs::counter("distance.evals");
+  c_evals.add();
   std::vector<double> sa, sb;
   std::span<const double> ua = a, ub = b;
   if (a.size() > opts.max_points) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace abg::net {
 
 void EventQueue::schedule(double when, Callback cb) {
@@ -10,6 +12,8 @@ void EventQueue::schedule(double when, Callback cb) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
+  static auto& c_events = obs::counter("sim.events");
+  c_events.add();
   // priority_queue::top returns const&; the callback must be moved out, so
   // copy the POD parts first and const_cast the closure (safe: popped next).
   Event ev = std::move(const_cast<Event&>(heap_.top()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -54,12 +55,20 @@ class Connection {
   }
 
   void send_segment(std::int64_t seq, bool retransmit) {
+    static auto& c_sent = obs::counter("sim.packets_sent");
+    static auto& c_dropped = obs::counter("sim.packets_dropped");
+    static auto& g_queue = obs::gauge("sim.queue_depth_pkts");
     const double now = queue_.now();
     if (!retransmit) send_time_[seq] = now;
     else send_time_.erase(seq);  // Karn: never RTT-sample a retransmit
     last_send_time_ = now;
+    c_sent.add();
     auto delivery = data_link_.transmit(opts_.mss_bytes, now, rng_);
-    if (!delivery) return;  // dropped; recovered via dup ACKs or RTO
+    g_queue.set(data_link_.backlog_bytes(now) / opts_.mss_bytes);
+    if (!delivery) {
+      c_dropped.add();
+      return;  // dropped; recovered via dup ACKs or RTO
+    }
     queue_.schedule(*delivery, [this, seq] { deliver_to_receiver(seq); });
   }
 
@@ -91,9 +100,12 @@ class Connection {
   }
 
   void on_ack(std::int64_t ack) {
+    static auto& c_acked = obs::counter("sim.packets_acked");
+    static auto& c_dup = obs::counter("sim.dup_acks");
     const double now = queue_.now();
     if (ack > last_ack_) {
       // New data acknowledged.
+      c_acked.add(static_cast<std::uint64_t>(ack - last_ack_));
       const double acked_bytes = static_cast<double>(ack - last_ack_) * opts_.mss_bytes;
       // RTT sample from the most recent newly-acked, never-retransmitted
       // segment.
@@ -126,6 +138,7 @@ class Connection {
       }
     } else {
       // Duplicate ACK.
+      c_dup.add();
       ++dup_count_;
       bool loss = false;
       if (dup_count_ == 3 && !in_recovery_) {
@@ -214,6 +227,8 @@ class Connection {
 
 trace::Trace run_connection(cca::CcaInterface& cca, const trace::Environment& env,
                             const SimOptions& opts) {
+  static auto& c_conns = obs::counter("sim.connections");
+  c_conns.add();
   Connection conn(cca, env, opts);
   return conn.run();
 }

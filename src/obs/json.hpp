@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer shared by the observability exporters (the
+// run-report and the Chrome trace-event file). No external deps; comma
+// placement is handled by the writer so exporters stay declarative.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abg::obs {
+
+// Escape a string for embedding inside JSON double quotes.
+std::string json_escape(std::string_view s);
+
+// Render a double the way JSON expects: finite values as shortest round-trip
+// decimal, non-finite values as null (JSON has no Inf/NaN).
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object key; must be followed by exactly one value/container.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+
+  // Splice a pre-serialized JSON value in verbatim (caller guarantees it is
+  // well-formed). Used to attach pre-built "args" objects to trace events.
+  void raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // Whether the current container already holds an element (one flag per
+  // nesting level).
+  std::vector<bool> has_elem_;
+  bool after_key_ = false;
+};
+
+}  // namespace abg::obs

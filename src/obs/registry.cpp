@@ -1,0 +1,171 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace abg::obs {
+
+namespace {
+
+// Lock-free relaxed max update for atomic<double>.
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+// The registry itself: name -> handle maps behind one mutex. The mutex is
+// only taken on registration/snapshot/reset, never on increment. Leaked on
+// purpose (never destroyed) so handles cached in function-local statics stay
+// valid through static destruction order.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace
+
+void Gauge::set(double v) {
+  last_.store(v, std::memory_order_relaxed);
+  atomic_max(max_, v);
+}
+
+void Gauge::reset() {
+  last_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::span<const double> default_time_bounds_us() {
+  static const double kBounds[] = {1,    2,    5,    10,   20,   50,   100,  200,
+                                   500,  1e3,  2e3,  5e3,  1e4,  2e4,  5e4,  1e5,
+                                   2e5,  5e5,  1e6,  2e6,  5e6,  1e7,  3e7,  6e7};
+  return kBounds;
+}
+
+Counter& counter(const std::string& name) {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(const std::string& name, std::span<const double> bounds) {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+Snapshot snapshot() {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  Snapshot s;
+  for (const auto& [name, c] : r.counters) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : r.gauges) {
+    s.gauges.emplace_back(name, std::make_pair(g->last(), g->max()));
+  }
+  for (const auto& [name, h] : r.histograms) {
+    Snapshot::HistogramData d;
+    d.name = name;
+    d.bounds = h->bounds();
+    d.counts = h->counts();
+    d.count = h->count();
+    d.sum = h->sum();
+    d.min = h->min();
+    d.max = h->max();
+    s.histograms.push_back(std::move(d));
+  }
+  return s;
+}
+
+std::uint64_t Snapshot::counter_value(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+void reset_all() {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace abg::obs

@@ -1,0 +1,117 @@
+// Process-wide metrics registry (§6's accounting as a first-class layer):
+// counters, gauges, and fixed-bucket histograms, cheap enough for per-ACK and
+// per-DTW-eval increments on the synthesis hot paths.
+//
+// Hot-path idiom — resolve the handle once, then touch only a relaxed atomic:
+//
+//   static auto& c = obs::counter("distance.dtw_evals");
+//   c.add();
+//
+// Registration (name lookup) takes a mutex; increments never do. Handles are
+// stable for the life of the process, so caching them in function-local
+// statics is safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace abg::obs {
+
+// Monotonic event count. Relaxed atomic increments: safe from any thread,
+// imposes no ordering, never blocks.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // Own cache line so unrelated counters never false-share.
+  alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written value plus a high-watermark (e.g. bottleneck queue depth:
+// `last` is the depth at the final sample, `max` the worst seen).
+class Gauge {
+ public:
+  void set(double v);
+  double last() const { return last_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  alignas(64) std::atomic<double> last_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Fixed-boundary histogram. `bounds` are inclusive upper edges of the first
+// `bounds.size()` buckets; one overflow bucket catches everything above the
+// last edge. Observation is a branchless-ish linear scan over <= ~32 edges
+// plus one relaxed fetch_add — fine for per-task and per-iteration rates,
+// and still cheap for per-eval rates.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // counts()[i] pairs with bounds()[i]; the final element is the overflow
+  // bucket.
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  alignas(64) std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// Exponential microsecond edges (1us .. 60s), the default for phase timers.
+std::span<const double> default_time_bounds_us();
+
+// Registry lookups: find-or-create by name. A histogram's bounds are fixed by
+// the first registration; later lookups with different bounds get the
+// existing instance.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     std::span<const double> bounds = default_time_bounds_us());
+
+// Point-in-time copy of every registered metric, for the exporters and tests.
+struct Snapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;      // sorted by name
+  std::vector<std::pair<std::string, std::pair<double, double>>> gauges;  // (last, max)
+  std::vector<HistogramData> histograms;
+
+  // Counter value by exact name; 0 if absent.
+  std::uint64_t counter_value(const std::string& name) const;
+};
+
+Snapshot snapshot();
+
+// Zero every registered metric (handles stay valid). For tests and for the
+// CLI, which resets between subcommand setup and the measured run.
+void reset_all();
+
+}  // namespace abg::obs

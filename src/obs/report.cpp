@@ -1,0 +1,100 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace abg::obs {
+
+std::string metrics_json() {
+  const Snapshot s = snapshot();
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : s.counters) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, lv] : s.gauges) {
+    w.key(name);
+    w.begin_object();
+    w.key("last");
+    w.value(lv.first);
+    w.key("max");
+    w.value(lv.second);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : s.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+bool write_metrics_json(const std::string& path) {
+  const std::string body = metrics_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+namespace {
+std::mutex g_exit_mu;
+std::string g_exit_path;  // guarded by g_exit_mu
+}  // namespace
+
+void write_metrics_json_at_exit(const std::string& path) {
+  static std::once_flag once;
+  {
+    std::lock_guard lk(g_exit_mu);
+    g_exit_path = path;
+  }
+  std::call_once(once, [] {
+    std::atexit([] {
+      std::string path;
+      {
+        std::lock_guard lk(g_exit_mu);
+        path = g_exit_path;
+      }
+      if (!path.empty()) write_metrics_json(path);
+    });
+  });
+}
+
+}  // namespace abg::obs

@@ -1,0 +1,31 @@
+// Structured JSON run-report: a snapshot of every registered metric, written
+// by the CLI (--metrics-out) and next to each bench result so BENCH_*.json
+// trajectories carry counter context.
+//
+// Shape:
+//   {
+//     "counters":   {"synth.handlers_scored": 1234, ...},
+//     "gauges":     {"sim.queue_depth_pkts": {"last": 3, "max": 41}, ...},
+//     "histograms": {"synth.iter_us": {"bounds": [...], "counts": [...],
+//                                      "count": 4, "sum": ..., "min": ...,
+//                                      "max": ...}, ...}
+//   }
+#pragma once
+
+#include <string>
+
+namespace abg::obs {
+
+// Serialize the current registry snapshot.
+std::string metrics_json();
+
+// Write metrics_json() to `path`. False on I/O failure.
+bool write_metrics_json(const std::string& path);
+
+// Register an atexit hook that writes the run report to `path` when the
+// process exits normally. One path per process; later calls replace it.
+// Used by the bench harness so every bench emits its counters without each
+// binary growing exporter plumbing.
+void write_metrics_json_at_exit(const std::string& path);
+
+}  // namespace abg::obs

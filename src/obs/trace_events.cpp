@@ -1,0 +1,158 @@
+#include "obs/trace_events.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace abg::obs {
+
+namespace {
+
+struct Event {
+  std::string name;
+  std::string args_json;
+  const char* cat;
+  const char* ph;  // "X" (complete) or "i" (instant)
+  double ts_us;
+  double dur_us;
+  std::uint32_t tid;
+};
+
+struct Recorder {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;
+  std::vector<Event> events;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  std::atomic<std::uint32_t> next_tid{1};
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder;  // leaked: outlive static destructors
+  return *r;
+}
+
+// Small dense thread ids (the viewer lays tracks out per tid; raw pthread ids
+// would scatter them).
+std::uint32_t this_tid() {
+  thread_local std::uint32_t tid =
+      recorder().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void append(Event e) {
+  auto& r = recorder();
+  std::lock_guard lk(r.mu);
+  r.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) {
+  recorder().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return recorder().enabled.load(std::memory_order_relaxed); }
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   recorder().epoch)
+      .count();
+}
+
+void trace_complete_event(std::string name, const char* cat, double ts_us, double dur_us,
+                          std::string args_json) {
+  append(Event{std::move(name), std::move(args_json), cat, "X", ts_us, dur_us, this_tid()});
+}
+
+void trace_instant_event(std::string name, const char* cat, std::string args_json) {
+  if (!tracing_enabled()) return;
+  append(Event{std::move(name), std::move(args_json), cat, "i", trace_now_us(), 0.0,
+               this_tid()});
+}
+
+void clear_trace_events() {
+  auto& r = recorder();
+  std::lock_guard lk(r.mu);
+  r.events.clear();
+}
+
+std::size_t trace_event_count() {
+  auto& r = recorder();
+  std::lock_guard lk(r.mu);
+  return r.events.size();
+}
+
+std::string trace_events_json() {
+  auto& r = recorder();
+  std::lock_guard lk(r.mu);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& e : r.events) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value(e.cat);
+    w.key("ph");
+    w.value(e.ph);
+    w.key("ts");
+    w.value(e.ts_us);
+    if (e.ph[0] == 'X') {
+      w.key("dur");
+      w.value(e.dur_us);
+    } else {
+      w.key("s");  // instant-event scope: thread
+      w.value("t");
+    }
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(e.tid));
+    if (!e.args_json.empty()) {
+      w.key("args");
+      w.raw(e.args_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  return w.take();
+}
+
+bool write_trace_json(const std::string& path) {
+  const std::string body = trace_events_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+TraceSpan::TraceSpan(std::string name, const char* cat)
+    : TraceSpan(std::move(name), cat, std::string{}) {}
+
+TraceSpan::TraceSpan(std::string name, const char* cat, std::string args_json)
+    : name_(std::move(name)),
+      args_json_(std::move(args_json)),
+      cat_(cat),
+      start_us_(0.0),
+      armed_(tracing_enabled()) {
+  if (armed_) start_us_ = trace_now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  trace_complete_event(std::move(name_), cat_, start_us_, trace_now_us() - start_us_,
+                       std::move(args_json_));
+}
+
+}  // namespace abg::obs

@@ -1,0 +1,65 @@
+// Chrome trace-event recorder (chrome://tracing / Perfetto "JSON trace
+// format", complete events, ph="X"). Disabled by default: a disarmed
+// TraceSpan costs one relaxed atomic load, so instrumentation can live
+// permanently on the refinement loop and thread pool.
+//
+//   obs::set_tracing_enabled(true);
+//   { obs::TraceSpan span("score bucket reno", "synth"); ... }
+//   obs::write_trace_json("t.json");   // open in ui.perfetto.dev
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace abg::obs {
+
+// Arm/disarm span recording process-wide. Spans already open keep the state
+// they saw at construction.
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+
+// Microseconds since the recorder's epoch (process start), the `ts` clock.
+double trace_now_us();
+
+// Append one complete event. `cat` groups events in the viewer ("synth",
+// "pool", ...). args_json, when non-empty, must be a serialized JSON object
+// and is embedded verbatim as the event's "args".
+void trace_complete_event(std::string name, const char* cat, double ts_us, double dur_us,
+                          std::string args_json = {});
+
+// Append an instant event (ph="i"), a zero-duration marker.
+void trace_instant_event(std::string name, const char* cat, std::string args_json = {});
+
+// Drop all recorded events (tests; CLI between setup and the measured run).
+void clear_trace_events();
+
+std::size_t trace_event_count();
+
+// Serialize as {"traceEvents": [...]} — the envelope both chrome://tracing
+// and Perfetto accept.
+std::string trace_events_json();
+
+// Write trace_events_json() to `path`. False on I/O failure.
+bool write_trace_json(const std::string& path);
+
+// RAII complete-event span. Arms itself only if tracing was enabled at
+// construction; records on destruction.
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, const char* cat);
+  // With a pre-serialized JSON args object attached to the event.
+  TraceSpan(std::string name, const char* cat, std::string args_json);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::string args_json_;
+  const char* cat_;
+  double start_us_;
+  bool armed_;
+};
+
+}  // namespace abg::obs

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/registry.hpp"
+
 namespace abg::synth {
 
 double completion_count(const dsl::Expr& sketch, std::size_t pool_size) {
@@ -36,7 +38,11 @@ std::vector<std::vector<double>> enumerate_assignments(const dsl::Expr& sketch,
     }
     return out;
   }
-  // Random sample without replacement.
+  // Random sample without replacement. The completion space exceeded the
+  // budget, so coverage of this sketch is partial — counted so a run report
+  // shows how often §4.2's budget truncates the search.
+  static auto& c_exhausted = obs::counter("synth.concretize_budget_exhausted");
+  c_exhausted.add();
   std::unordered_set<std::size_t> seen;
   while (out.size() < opts.budget) {
     std::vector<double> assign(static_cast<std::size_t>(holes));

@@ -7,6 +7,7 @@
 
 #include "dsl/simplify.hpp"
 #include "dsl/units.hpp"
+#include "obs/registry.hpp"
 
 namespace abg::synth {
 
@@ -370,6 +371,8 @@ struct SketchEnumerator::Impl {
   }
 
   std::optional<dsl::ExprPtr> next() {
+    static auto& c_models = obs::counter("synth.solver_models");
+    static auto& c_emitted = obs::counter("synth.sketches_emitted");
     while (!exhausted) {
       // Smallest-first: exhaust all size-k sketches before size k+1.
       z3::expr_vector assumptions(ctx);
@@ -383,6 +386,7 @@ struct SketchEnumerator::Impl {
       }
       const z3::model m = solver.get_model();
       ++models;
+      c_models.add();
       int next_hole = 0;
       dsl::ExprPtr sketch = decode(m, 0, next_hole);
       block(m);
@@ -393,6 +397,7 @@ struct SketchEnumerator::Impl {
       const auto canon = dsl::canonicalize(sketch);
       if (!seen_hashes.insert(dsl::hash_expr(*canon)).second) continue;
       ++emitted;
+      c_emitted.add();
       return canon;
     }
     return std::nullopt;

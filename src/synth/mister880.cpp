@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "synth/concretize.hpp"
 #include "synth/replay.hpp"
 
@@ -33,13 +34,19 @@ Mister880Result mister880_synthesize(const dsl::Dsl& dsl,
   ConcretizeOptions copts;
   copts.budget = opts.concretize_budget;
 
+  // Counters advance at the same statements as the hand-counted result
+  // fields; test_obs asserts the two stay equal so they cannot drift.
+  static auto& c_sketches = obs::counter("mister880.sketches_tried");
+  static auto& c_handlers = obs::counter("mister880.handlers_tried");
   while (result.sketches_tried < opts.max_sketches) {
     auto sketch = enumerator.next();
     if (!sketch) break;  // space exhausted: decision search failed
     ++result.sketches_tried;
+    c_sketches.add();
     for (const auto& assign : enumerate_assignments(**sketch, dsl.constant_pool, copts, rng)) {
       const auto handler = dsl::fill_holes(*sketch, assign);
       ++result.handlers_tried;
+      c_handlers.add();
       bool all_match = true;
       for (const auto& seg : segments) {
         if (!exact_match(*handler, seg, opts.match_tolerance)) {

@@ -4,6 +4,10 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace_events.hpp"
 #include "synth/replay.hpp"
 #include "trace/sampler.hpp"
 #include "util/log.hpp"
@@ -52,6 +56,10 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
       best.handler = handler;
     }
   }
+  // Same site as the hand count above, so the registry and the per-bucket
+  // fields cannot drift (test_obs asserts they agree).
+  static auto& c_scored = obs::counter("synth.handlers_scored");
+  c_scored.add(assignments.size());
   return best;
 }
 
@@ -114,6 +122,8 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   auto past_deadline = [&] { return total_clock.elapsed_seconds() > opts.timeout_s; };
   auto score_bucket = [&](BucketState& st, std::size_t target,
                           const std::vector<trace::Segment>& working) {
+    static auto& c_sketches = obs::counter("synth.sketches_enumerated");
+    obs::TraceSpan span("score " + st.bucket.label, "synth");
     if (!st.enumerator && !st.exhausted) make_enumerator(st);
     // Always enumerate at least one sketch so an expired budget still
     // returns the best handler seen (§4.4's interrupt semantics).
@@ -124,6 +134,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
         st.exhausted = true;
         break;
       }
+      c_sketches.add();
       st.sketches.push_back(std::move(*s));
     }
     // Re-score all sketches under the (possibly grown) segment set, as
@@ -143,9 +154,28 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     }
   };
 
+  static auto& c_iters = obs::counter("synth.iterations");
+  static auto& h_iter = obs::histogram("synth.iter_us");
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     if (live.empty()) break;
     util::Stopwatch iter_clock;
+    c_iters.add();
+    obs::Timer iter_timer(h_iter);
+    // One span per refinement iteration, with the loop's control variables
+    // attached so a Perfetto view shows N/k/|working| shrinking.
+    obs::JsonWriter iter_args;
+    iter_args.begin_object();
+    iter_args.key("iter");
+    iter_args.value(static_cast<std::int64_t>(iter));
+    iter_args.key("live_buckets");
+    iter_args.value(static_cast<std::uint64_t>(live.size()));
+    iter_args.key("n_target");
+    iter_args.value(static_cast<std::int64_t>(n));
+    iter_args.key("keep");
+    iter_args.value(static_cast<std::int64_t>(k));
+    iter_args.end_object();
+    obs::TraceSpan iter_span("synth.iteration", "synth", iter_args.take());
 
     std::vector<trace::Segment> working;
     for (std::size_t idx : sampler.selected()) working.push_back(segments[idx]);
@@ -227,6 +257,8 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   // segment sample, so a handler over-fit to the small working set cannot
   // win (§3.2).
   if (!candidates.empty() && !segments.empty()) {
+    obs::TraceSpan val_span("synth.validation", "synth");
+    static auto& c_validated = obs::counter("synth.candidates_validated");
     sampler.grow_to(opts.final_validation_segments);
     std::vector<trace::Segment> validation;
     for (std::size_t idx : sampler.selected()) validation.push_back(segments[idx]);
@@ -240,6 +272,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       unique.push_back(c);
     }
     result.candidates_validated = unique.size();
+    c_validated.add(unique.size());
     std::mutex val_mu;
     ScoredHandler winner;
     pool.parallel_for(unique.size(), [&](std::size_t i) {

@@ -1,11 +1,41 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace abg::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+bool g_level_from_env = false;
+
+LogLevel level_from_env() {
+  const char* s = std::getenv("ABG_LOG_LEVEL");
+  if (s == nullptr || *s == '\0') return LogLevel::kWarn;
+  std::string v;
+  for (const char* p = s; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  g_level_from_env = true;
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  g_level_from_env = false;
+  std::fprintf(stderr, "[abg WARN ] unrecognized ABG_LOG_LEVEL '%s'; using warn\n", s);
+  return LogLevel::kWarn;
+}
+
+// Static-initialized from the environment, so the very first log statement
+// already honors ABG_LOG_LEVEL.
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mu;
 
 const char* level_name(LogLevel level) {
@@ -18,10 +48,40 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+bool log_level_from_env() { return g_level_from_env; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n >= 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    va_end(ap2);
+    detail::log_line(level, buf);
+    return;
+  }
+  // Didn't fit (or encoding error, n < 0 — log the literal format string
+  // rather than nothing). Reformat into an exact-size heap buffer so long
+  // handler expressions are never silently truncated.
+  if (n < 0) {
+    va_end(ap2);
+    detail::log_line(level, fmt);
+    return;
+  }
+  std::vector<char> big(static_cast<std::size_t>(n) + 1);
+  std::vsnprintf(big.data(), big.size(), fmt, ap2);
+  va_end(ap2);
+  detail::log_line(level, big.data());
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {

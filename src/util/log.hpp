@@ -1,29 +1,39 @@
 // Minimal leveled logging to stderr. The synthesis pipeline is long-running;
 // INFO-level progress lines let a user watch the refinement loop converge.
+//
+// The minimum level defaults to Warn (tests and benches stay quiet) and can
+// be set at startup with ABG_LOG_LEVEL=debug|info|warn|error|off (a bare
+// integer 0-4 also works). set_log_level() overrides both.
 #pragma once
 
-#include <cstdio>
-#include <mutex>
 #include <string>
+
+// Compile-time printf-format checking for the logging entry points: a
+// mismatched specifier/argument pair is a -Wformat warning at the call site
+// instead of garbage (or UB) at runtime.
+#if defined(__GNUC__) || defined(__clang__)
+#define ABG_PRINTF_FORMAT(fmt_idx, va_idx) __attribute__((format(printf, fmt_idx, va_idx)))
+#else
+#define ABG_PRINTF_FORMAT(fmt_idx, va_idx)
+#endif
 
 namespace abg::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Process-wide minimum level; default Warn so tests and benches stay quiet.
+// Process-wide minimum level; initialized from ABG_LOG_LEVEL (default Warn).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+// True when ABG_LOG_LEVEL supplied the startup level (callers that would
+// otherwise force a level, like the CLI, leave an explicit choice alone).
+bool log_level_from_env();
+
+// printf-style formatted log line. Messages longer than the stack buffer are
+// heap-formatted rather than truncated.
+void logf(LogLevel level, const char* fmt, ...) ABG_PRINTF_FORMAT(2, 3);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);
-}
-
-template <typename... Args>
-void logf(LogLevel level, const char* fmt, Args... args) {
-  if (level < log_level()) return;
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  detail::log_line(level, buf);
 }
 
 #define ABG_DEBUG(...) ::abg::util::logf(::abg::util::LogLevel::kDebug, __VA_ARGS__)

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/registry.hpp"
+#include "obs/trace_events.hpp"
+
 namespace abg::util {
+
+namespace detail {
+void note_task_queued() {
+  static auto& c_queued = obs::counter("pool.tasks_queued");
+  c_queued.add();
+}
+}  // namespace detail
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
@@ -25,8 +35,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  static auto& c_executed = obs::counter("pool.tasks_executed");
+  static auto& h_wait = obs::histogram("pool.queue_wait_us");
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -37,7 +49,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    h_wait.observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - task.enqueued)
+                       .count());
+    c_executed.add();
+    obs::TraceSpan span("pool.task", "pool");
+    task.fn();
   }
 }
 

@@ -3,6 +3,7 @@
 // local pool instead).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,12 @@
 #include <vector>
 
 namespace abg::util {
+
+namespace detail {
+// Out-of-line so the template submit() stays free of obs includes; bumps the
+// pool.tasks_queued counter.
+void note_task_queued();
+}  // namespace detail
 
 // A minimal work-stealing-free thread pool. Tasks are arbitrary callables;
 // submit() returns a future for the callable's result. The pool joins all
@@ -36,9 +43,10 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    detail::note_task_queued();
     {
       std::lock_guard lk(mu_);
-      queue_.emplace_back([task]() { (*task)(); });
+      queue_.push_back(Task{[task]() { (*task)(); }, std::chrono::steady_clock::now()});
     }
     cv_.notify_one();
     return fut;
@@ -50,11 +58,18 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
  private:
+  // A queued callable plus its enqueue instant, so the worker can feed the
+  // pool.queue_wait_us histogram when it picks the task up.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,434 @@
+// Observability layer tests: registry primitives under concurrency, timer
+// behaviour, exporter JSON validity (checked with a strict mini-parser), and
+// the pipeline-level guarantees — a synthesis run populates the core
+// counters, and the registry totals agree exactly with the hand-counted
+// fields in SynthesisResult / Mister880Result (the double-accounting guard).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <chrono>
+#include <limits>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace_events.hpp"
+#include "synth/mister880.hpp"
+#include "synth/refinement.hpp"
+#include "trace/trace.hpp"
+
+namespace abg {
+namespace {
+
+// ---- strict JSON parser (validation only) ---------------------------------
+// Small recursive-descent parser covering the full JSON grammar; used to
+// prove the exporters emit well-formed documents without pulling in a JSON
+// dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  bool eat(char c) {
+    if (eof() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(peek()) < 0x20) {
+        return false;  // raw control character
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- registry primitives --------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  auto& c = obs::counter("test.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsCounter, HandleIsStableAcrossLookups) {
+  auto& a = obs::counter("test.stable");
+  auto& b = obs::counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsGauge, TracksLastAndMax) {
+  auto& g = obs::gauge("test.gauge");
+  g.reset();
+  g.set(5.0);
+  g.set(11.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.last(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 11.0);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperEdges) {
+  const std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  obs::Histogram h(bounds);
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (edge is inclusive)
+  h.observe(1.5);    // bucket 1
+  h.observe(10.0);   // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(101.0);  // overflow bucket
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 10.0 + 100.0 + 101.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 101.0);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsSumExactly) {
+  const std::array<double, 2> bounds{10.0, 100.0};
+  obs::Histogram h(bounds);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(h.counts()[0], static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsTimer, ObservationsAreMonotoneNonNegative) {
+  obs::Histogram h(obs::default_time_bounds_us());
+  {
+    obs::Timer t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(t.elapsed_us(), 0.0);
+  }
+  ASSERT_EQ(h.count(), 1u);
+  // steady_clock: a 2 ms sleep must observe >= 2000 us.
+  EXPECT_GE(h.sum(), 2000.0);
+  EXPECT_GE(h.max(), h.min());
+  const double first_sum = h.sum();
+  {
+    obs::Timer t(h);
+    t.stop();
+    t.stop();  // idempotent: records once
+  }
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.sum(), first_sum);
+}
+
+TEST(ObsRegistry, ResetAllZeroesEverything) {
+  obs::counter("test.reset_me").add(7);
+  obs::gauge("test.reset_gauge").set(3.0);
+  obs::histogram("test.reset_hist").observe(5.0);
+  obs::reset_all();
+  const auto s = obs::snapshot();
+  EXPECT_EQ(s.counter_value("test.reset_me"), 0u);
+  for (const auto& [name, lv] : s.gauges) {
+    if (name == "test.reset_gauge") {
+      EXPECT_DOUBLE_EQ(lv.first, 0.0);
+      EXPECT_DOUBLE_EQ(lv.second, 0.0);
+    }
+  }
+  for (const auto& h : s.histograms) {
+    if (h.name == "test.reset_hist") {
+      EXPECT_EQ(h.count, 0u);
+    }
+  }
+}
+
+// ---- exporters ------------------------------------------------------------
+
+TEST(ObsJson, EscapesAndNumbers) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_number(0.5), "0.5");
+  EXPECT_EQ(obs::json_number(1e300), "1e+300");
+  // JSON has no Inf/NaN.
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(ObsReport, MetricsJsonRoundTripsThroughParser) {
+  obs::reset_all();
+  obs::counter("test.report_counter").add(42);
+  obs::gauge("test.report \"gauge\"").set(1.5);  // name needing escaping
+  obs::histogram("test.report_hist").observe(123.0);
+  const std::string json = obs::metrics_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"test.report_counter\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsTraceEvents, DisabledRecorderStaysEmpty) {
+  obs::clear_trace_events();
+  obs::set_tracing_enabled(false);
+  { obs::TraceSpan span("ignored", "test"); }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(ObsTraceEvents, SpansRoundTripThroughParser) {
+  obs::clear_trace_events();
+  obs::set_tracing_enabled(true);
+  {
+    obs::TraceSpan outer("outer \"span\"", "test");
+    obs::TraceSpan inner("inner", "test", "{\"iter\":1}");
+    obs::trace_instant_event("marker", "test");
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 3u);
+  const std::string json = obs::trace_events_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"iter\":1}"), std::string::npos);
+  obs::clear_trace_events();
+}
+
+// ---- pipeline integration -------------------------------------------------
+
+std::vector<trace::Segment> reno_segments() {
+  trace::Environment env;
+  env.bandwidth_bps = 10e6;
+  env.rtt_s = 0.04;
+  env.duration_s = 8.0;
+  env.seed = 33;
+  auto t = net::run_connection("reno", env);
+  return trace::segment_all({trace::trim_warmup(t, 2.0)}, 20);
+}
+
+TEST(ObsPipeline, SimulatorPopulatesPacketCounters) {
+  obs::reset_all();
+  auto segs = reno_segments();
+  ASSERT_FALSE(segs.empty());
+  const auto s = obs::snapshot();
+  EXPECT_GT(s.counter_value("sim.packets_sent"), 0u);
+  EXPECT_GT(s.counter_value("sim.packets_acked"), 0u);
+  EXPECT_GT(s.counter_value("sim.events"), 0u);
+  EXPECT_EQ(s.counter_value("sim.connections"), 1u);
+  // A sender cannot have more packets acknowledged than sent.
+  EXPECT_LE(s.counter_value("sim.packets_acked"), s.counter_value("sim.packets_sent"));
+}
+
+TEST(ObsPipeline, SynthesizePopulatesCoreMetricsAndAgreesWithResult) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 2u);
+  obs::reset_all();
+
+  synth::SynthesisOptions opts;
+  opts.initial_samples = 6;
+  opts.initial_keep = 3;
+  opts.initial_segments = 2;
+  opts.concretize_budget = 12;
+  opts.max_iterations = 2;
+  opts.exhaustive_cap = 40;
+  opts.max_depth = 3;
+  opts.max_nodes = 5;
+  opts.max_holes = 2;
+  opts.threads = 2;
+  opts.seed = 5;
+  const auto result = synth::synthesize(dsl::reno_dsl(), segs, opts);
+
+  const auto s = obs::snapshot();
+  EXPECT_GT(s.counter_value("synth.handlers_scored"), 0u);
+  EXPECT_GT(s.counter_value("synth.sketches_enumerated"), 0u);
+  EXPECT_GT(s.counter_value("synth.iterations"), 0u);
+  EXPECT_GT(s.counter_value("distance.dtw_evals"), 0u);
+  EXPECT_GT(s.counter_value("distance.dtw_cells"), 0u);
+  EXPECT_GT(s.counter_value("pool.tasks_queued"), 0u);
+  EXPECT_EQ(s.counter_value("pool.tasks_queued"), s.counter_value("pool.tasks_executed"));
+
+  // The registry and the hand-counted result fields must agree exactly —
+  // this is the double-accounting guard.
+  EXPECT_EQ(s.counter_value("synth.handlers_scored"), result.total_handlers_scored);
+  EXPECT_EQ(s.counter_value("synth.sketches_enumerated"), result.total_sketches);
+  EXPECT_EQ(s.counter_value("synth.iterations"), result.iterations.size());
+  EXPECT_EQ(s.counter_value("synth.candidates_validated"), result.candidates_validated);
+}
+
+TEST(ObsPipeline, Mister880CountersAgreeWithResult) {
+  auto segs = reno_segments();
+  ASSERT_FALSE(segs.empty());
+  obs::reset_all();
+
+  synth::Mister880Options opts;
+  opts.max_sketches = 30;
+  opts.concretize_budget = 8;
+  opts.max_depth = 3;
+  opts.max_nodes = 4;
+  opts.max_holes = 1;
+  const auto result = synth::mister880_synthesize(dsl::reno_dsl(), {segs[0]}, opts);
+
+  const auto s = obs::snapshot();
+  EXPECT_GT(result.sketches_tried, 0u);
+  EXPECT_EQ(s.counter_value("mister880.sketches_tried"), result.sketches_tried);
+  EXPECT_EQ(s.counter_value("mister880.handlers_tried"), result.handlers_tried);
+}
+
+TEST(ObsPipeline, SynthesizeEmitsIterationSpansWhenTracingEnabled) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 2u);
+  obs::clear_trace_events();
+  obs::set_tracing_enabled(true);
+
+  synth::SynthesisOptions opts;
+  opts.initial_samples = 4;
+  opts.initial_keep = 2;
+  opts.initial_segments = 2;
+  opts.concretize_budget = 8;
+  opts.max_iterations = 2;
+  opts.exhaustive_cap = 20;
+  opts.max_depth = 3;
+  opts.max_nodes = 4;
+  opts.max_holes = 1;
+  opts.threads = 2;
+  const auto result = synth::synthesize(dsl::reno_dsl(), segs, opts);
+  obs::set_tracing_enabled(false);
+
+  const std::string json = obs::trace_events_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // At least one span per refinement iteration, plus bucket-scoring and
+  // pool-task spans underneath.
+  std::size_t iter_spans = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"synth.iteration\"", pos)) != std::string::npos;
+       ++pos) {
+    ++iter_spans;
+  }
+  EXPECT_GE(iter_spans, result.iterations.size());
+  EXPECT_NE(json.find("\"pool.task\""), std::string::npos);
+  EXPECT_NE(json.find("score "), std::string::npos);
+  obs::clear_trace_events();
+}
+
+}  // namespace
+}  // namespace abg
