@@ -8,9 +8,12 @@
 #include "distance/distance.hpp"
 #include "dsl/eval.hpp"
 #include "dsl/known_handlers.hpp"
+#include "dsl/simplify.hpp"
 #include "dsl/units.hpp"
 #include "net/simulator.hpp"
+#include "obs/report.hpp"
 #include "synth/enumerator.hpp"
+#include "synth/eval_cache.hpp"
 #include "synth/replay.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +48,35 @@ void BM_DtwBanded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DtwBanded)->Range(64, 1024);
+
+// Early-abandoning DTW against a hopeless pair (the refinement loop's common
+// case: a candidate far worse than the bucket best). The bound is 10% of the
+// true distance, so the per-row check fires within a few rows; compare with
+// BM_Dtw at the same size for the pruned-work ratio.
+void BM_DtwEarlyAbandon(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = noisy_saw(n, 1), b = noisy_saw(n, 2);
+  for (auto& x : b) x += 150.0;
+  const double exact = distance::dtw(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::dtw(a, b, 0.0, exact * 0.1));
+  }
+}
+BENCHMARK(BM_DtwEarlyAbandon)->Range(64, 1024);
+
+// The memo-cache probe on the synthesis hot path: canonicalize + hash +
+// sharded lookup. Compare with BM_SegmentDistance to see what a hit saves.
+void BM_EvalCacheHit(benchmark::State& state) {
+  synth::EvalCache cache;
+  const auto handler = dsl::known_handlers("vegas").fine_tuned;
+  const auto canon = dsl::canonicalize(handler);
+  cache.insert(42, dsl::hash_expr(*canon), canon, 1.25);
+  for (auto _ : state) {
+    const auto c = dsl::canonicalize(handler);
+    benchmark::DoNotOptimize(cache.lookup(42, dsl::hash_expr(*c), *c));
+  }
+}
+BENCHMARK(BM_EvalCacheHit);
 
 void BM_Euclidean(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -159,4 +191,14 @@ BENCHMARK(BM_EnumerateOneBucket)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same contract as the table/figure benches: leave an obs run report next to
+// the timings so CI can archive counter context (DTW evals, cache hits,
+// early abandons) alongside the google-benchmark JSON.
+int main(int argc, char** argv) {
+  abg::obs::write_metrics_json_at_exit("bench_micro.metrics.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,7 +41,8 @@ int usage() {
                "  abagnale_cli list\n"
                "  abagnale_cli collect <cca> <out.csv> [bw_mbps rtt_ms dur_s loss xt_mbps]\n"
                "  abagnale_cli classify <trace.csv>...\n"
-               "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] <trace.csv>...\n"
+               "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] [--no-fast-path] "
+               "<trace.csv>...\n"
                "  abagnale_cli match <cca> <trace.csv>...\n"
                "observability options (classify/synthesize/match, anywhere on the line):\n"
                "  --metrics-out <m.json>  JSON run report: counters/gauges/histograms\n"
@@ -114,7 +115,17 @@ int cmd_synthesize(int argc, char** argv) {
   opts.synth.dopts.max_points = 128;
   opts.synth.timeout_s = 120.0;
   int first = 2;
-  while (first + 1 < argc && argv[first][0] == '-') {
+  while (first < argc && argv[first][0] == '-') {
+    if (std::strcmp(argv[first], "--no-fast-path") == 0) {
+      // Reference configuration: score every candidate from scratch (no memo
+      // cache, no early abandoning). Results are identical either way — this
+      // exists to measure the fast path, not to change behavior.
+      opts.synth.use_eval_cache = false;
+      opts.synth.early_abandon = false;
+      first += 1;
+      continue;
+    }
+    if (first + 1 >= argc) return usage();
     if (std::strcmp(argv[first], "--dsl") == 0) {
       opts.dsl_override = argv[first + 1];
     } else if (std::strcmp(argv[first], "--timeout") == 0) {

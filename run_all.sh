@@ -1,13 +1,22 @@
-#!/bin/bash
+#!/usr/bin/env bash
 # Regenerates test_output.txt and bench_output.txt (the recorded runs), then
 # re-runs the tier-1 tests under AddressSanitizer so the obs registry
 # atomics, trace recorder, and thread-pool instrumentation are exercised
 # under ASan on every recorded run.
+#
+# Failure handling: `set -o pipefail` makes a failing ctest/bench propagate
+# through the `tee` pipelines, and `set -e` stops the script there — the
+# final ALL-RUNS-COMPLETE marker prints only when every stage passed.
+set -euo pipefail
 cd /root/repo
-ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
-for b in build/bench/*; do
-  if [ -x "$b" ] && [ -f "$b" ]; then "$b"; fi
-done 2>&1 | tee /root/repo/bench_output.txt
+
+ctest --test-dir build --output-on-failure 2>&1 | tee /root/repo/test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then "$b"; fi
+  done
+} 2>&1 | tee /root/repo/bench_output.txt
 
 cmake -B build-asan -S . -DABG_SANITIZE=address
 cmake --build build-asan -j

@@ -42,10 +42,39 @@ std::vector<double> resample(std::span<const double> in, std::size_t n) {
   return out;
 }
 
-double dtw(std::span<const double> a, std::span<const double> b, double band_frac) {
+double dtw(std::span<const double> a, std::span<const double> b, double band_frac,
+           double abandon_above) {
   const std::size_t n = a.size(), m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  static auto& c_evals = obs::counter("distance.dtw_evals");
+  static auto& c_cells = obs::counter("distance.dtw_cells");
+  // The bound arrives in normalized units (d / (n+m) * 2); the DP works in
+  // raw path-cost units, so compare against the denormalized cutoff.
+  const double raw_cutoff = abandon_above * static_cast<double>(n + m) / 2.0;
+  if (raw_cutoff <= 0.0) {
+    // Nothing can beat a non-positive bound: costs are non-negative.
+    static auto& c_lb = obs::counter("dtw.lb_prunes");
+    static auto& c_ab = obs::counter("dtw.early_abandons");
+    c_evals.add();
+    c_lb.add();
+    c_ab.add();
+    return kInf;
+  }
+  if (std::isfinite(raw_cutoff)) {
+    // LB_Kim-style endpoint bound: every warping path includes both corner
+    // cells (they coincide when n == m == 1).
+    const double lb = std::fabs(a[0] - b[0]) +
+                      (n + m > 2 ? std::fabs(a[n - 1] - b[m - 1]) : 0.0);
+    if (lb >= raw_cutoff) {
+      static auto& c_lb = obs::counter("dtw.lb_prunes");
+      static auto& c_ab = obs::counter("dtw.early_abandons");
+      c_evals.add();
+      c_lb.add();
+      c_ab.add();
+      return kInf;
+    }
+  }
   // Rolling two-row DP. Band half-width in columns.
   const std::size_t band =
       band_frac > 0 ? std::max<std::size_t>(
@@ -61,17 +90,26 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
                                                  static_cast<double>(m) / static_cast<double>(n));
     const std::size_t j_lo = center > band ? center - band : 1;
     const std::size_t j_hi = std::min(m, center + band);
+    double row_min = kInf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double cost = std::fabs(a[i - 1] - b[j - 1]);
       const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
       if (best < kInf) cur[j] = cost + best;
+      row_min = std::min(row_min, cur[j]);
     }
     if (j_hi >= j_lo) cells += j_hi - j_lo + 1;
+    // Cumulative cell values only grow down/right (non-negative step costs),
+    // so once a whole row meets the cutoff the final cost must too.
+    if (std::isfinite(raw_cutoff) && row_min >= raw_cutoff) {
+      static auto& c_ab = obs::counter("dtw.early_abandons");
+      c_evals.add();
+      c_cells.add(cells);
+      c_ab.add();
+      return kInf;
+    }
     std::swap(prev, cur);
   }
   // One relaxed add per eval, not per cell: counting stays off the DP loop.
-  static auto& c_evals = obs::counter("distance.dtw_evals");
-  static auto& c_cells = obs::counter("distance.dtw_cells");
   c_evals.add();
   c_cells.add(cells);
   // Normalize by path length scale so distances are comparable across
@@ -161,7 +199,7 @@ double correlation_distance(std::span<const double> a, std::span<const double> b
 }
 
 double compute(Metric m, std::span<const double> a, std::span<const double> b,
-               const DistanceOptions& opts) {
+               const DistanceOptions& opts, double abandon_above) {
   static auto& c_evals = obs::counter("distance.evals");
   c_evals.add();
   std::vector<double> sa, sb;
@@ -175,7 +213,7 @@ double compute(Metric m, std::span<const double> a, std::span<const double> b,
     ub = sb;
   }
   switch (m) {
-    case Metric::kDtw: return dtw(ua, ub, opts.dtw_band_frac);
+    case Metric::kDtw: return dtw(ua, ub, opts.dtw_band_frac, abandon_above);
     case Metric::kEuclidean: return euclidean(ua, ub);
     case Metric::kManhattan: return manhattan(ua, ub);
     case Metric::kFrechet: return frechet(ua, ub);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -33,12 +34,28 @@ struct DistanceOptions {
   double dtw_band_frac = 0.0;
 };
 
+// Sentinel for "no early-abandon bound": evaluate the metric exactly.
+inline constexpr double kNoAbandon = std::numeric_limits<double>::infinity();
+
 // Linear-interpolation resample of `in` to exactly n >= 2 points.
 std::vector<double> resample(std::span<const double> in, std::size_t n);
 
 // Dynamic Time Warping distance with per-step cost |a_i - b_j|.
 // band_frac <= 0 disables the Sakoe-Chiba band.
-double dtw(std::span<const double> a, std::span<const double> b, double band_frac = 0.0);
+//
+// `abandon_above` is a UCR-suite-style early-abandon bound: once it is
+// certain the (normalized) distance will be >= abandon_above, the DP stops
+// and +inf is returned. Two pruning levels run, both exact:
+//   * an O(1) LB_Kim-style lower bound over the endpoint cells (every
+//     warping path must include (0,0) and (n-1,m-1)), checked before any
+//     DP row is allocated ("dtw.lb_prunes"),
+//   * a per-row check — every cumulative cell value lower-bounds the final
+//     path cost, so when the minimum of a finished row already meets the
+//     bound, no extension can come back under it ("dtw.early_abandons").
+// With abandon_above = kNoAbandon the result is bit-identical to the
+// unbounded evaluation.
+double dtw(std::span<const double> a, std::span<const double> b, double band_frac = 0.0,
+           double abandon_above = kNoAbandon);
 
 // L2 distance between series resampled to a common length, normalized by
 // sqrt(length) so it is series-length independent.
@@ -56,7 +73,12 @@ double correlation_distance(std::span<const double> a, std::span<const double> b
 
 // Dispatch with resampling applied per `opts`. Empty series yield +inf
 // against non-empty ones and 0 against each other.
+//
+// `abandon_above` threads the early-abandon bound through to DTW (the only
+// metric on the synthesis hot path); the other metrics evaluate exactly and
+// ignore it. When the bound triggers, +inf is returned — callers that keep a
+// running best under strict `<` comparison see identical selections.
 double compute(Metric m, std::span<const double> a, std::span<const double> b,
-               const DistanceOptions& opts = {});
+               const DistanceOptions& opts = {}, double abandon_above = kNoAbandon);
 
 }  // namespace abg::distance

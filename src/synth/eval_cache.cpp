@@ -1,0 +1,127 @@
+#include "synth/eval_cache.hpp"
+
+#include <functional>
+
+#include "obs/registry.hpp"
+
+namespace abg::synth {
+
+namespace {
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a step over the 8 bytes of v.
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+inline std::uint64_t mix_double(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return mix(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t segment_set_fingerprint(const std::vector<trace::Segment>& segments) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, segments.size());
+  for (const auto& seg : segments) {
+    h = mix(h, seg.samples.size());
+    for (const auto& s : seg.samples) {
+      // The fields replay() and observed_series_pkts() read: anything that
+      // can change a distance changes the fingerprint.
+      h = mix_double(h, s.sig.now);
+      h = mix_double(h, s.sig.mss);
+      h = mix_double(h, s.sig.cwnd);
+      h = mix_double(h, s.sig.inflight);
+      h = mix_double(h, s.sig.acked_bytes);
+      h = mix_double(h, s.sig.rtt);
+      h = mix_double(h, s.sig.srtt);
+      h = mix_double(h, s.sig.min_rtt);
+      h = mix_double(h, s.sig.max_rtt);
+      h = mix_double(h, s.sig.ack_rate);
+      h = mix_double(h, s.sig.rtt_gradient);
+      h = mix_double(h, s.sig.time_since_loss);
+      h = mix_double(h, s.sig.cwnd_at_loss);
+      h = mix_double(h, s.cwnd_after);
+      h = mix(h, static_cast<std::uint64_t>(s.is_dup));
+    }
+  }
+  return h;
+}
+
+EvalCache::EvalCache(std::size_t shard_count) {
+  shards_.reserve(shard_count == 0 ? 1 : shard_count);
+  for (std::size_t i = 0; i < (shard_count == 0 ? 1 : shard_count); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::uint64_t EvalCache::combined_key(std::uint64_t fingerprint, std::size_t canon_hash) {
+  // Golden-ratio mix so fingerprint and hash bits spread across the word;
+  // the shard index uses the high bits, the slot map the whole key.
+  std::uint64_t k = fingerprint ^ (static_cast<std::uint64_t>(canon_hash) * 0x9e3779b97f4a7c15ull);
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  return k;
+}
+
+EvalCache::Shard& EvalCache::shard_for(std::uint64_t key) {
+  return *shards_[static_cast<std::size_t>(key >> 33) % shards_.size()];
+}
+
+std::optional<double> EvalCache::lookup(std::uint64_t fingerprint, std::size_t canon_hash,
+                                        const dsl::Expr& canon) {
+  static auto& c_hits = obs::counter("synth.cache_hits");
+  static auto& c_misses = obs::counter("synth.cache_misses");
+  const std::uint64_t key = combined_key(fingerprint, canon_hash);
+  Shard& sh = shard_for(key);
+  {
+    std::lock_guard lk(sh.mu);
+    const auto it = sh.slots.find(key);
+    if (it != sh.slots.end()) {
+      for (const Entry& e : it->second) {
+        if (e.fingerprint == fingerprint && e.canon_hash == canon_hash &&
+            dsl::equal(*e.canon, canon)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          c_hits.add();
+          return e.distance;
+        }
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  c_misses.add();
+  return std::nullopt;
+}
+
+void EvalCache::insert(std::uint64_t fingerprint, std::size_t canon_hash, dsl::ExprPtr canon,
+                       double distance) {
+  const std::uint64_t key = combined_key(fingerprint, canon_hash);
+  Shard& sh = shard_for(key);
+  std::lock_guard lk(sh.mu);
+  auto& slot = sh.slots[key];
+  for (const Entry& e : slot) {
+    if (e.fingerprint == fingerprint && e.canon_hash == canon_hash &&
+        dsl::equal(*e.canon, *canon)) {
+      return;  // first write wins; the value is the same by construction
+    }
+  }
+  slot.push_back(Entry{fingerprint, canon_hash, std::move(canon), distance});
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lk(sh->mu);
+    for (const auto& [key, slot] : sh->slots) n += slot.size();
+  }
+  return n;
+}
+
+std::uint64_t EvalCache::hits() const { return hits_.load(std::memory_order_relaxed); }
+std::uint64_t EvalCache::misses() const { return misses_.load(std::memory_order_relaxed); }
+
+}  // namespace abg::synth

@@ -1,0 +1,85 @@
+// Canonical-handler evaluation memo cache — the reuse half of the refinement
+// fast path. The refinement loop (§4.4) scores thousands of concretized
+// handlers per bucket against the current segment working set; the same
+// concrete handler recurs whenever
+//   * an iteration re-scores previously enumerated sketches (Algorithm 1
+//     line 5) and the sampler's working set has stopped growing (small
+//     segment pools cap out), or
+//   * the terminal exhaustive phase re-scores the surviving bucket's whole
+//     sketch list under the working set it was just scored with.
+// Keying on dsl::canonicalize's order-canonical form also folds handlers
+// that differ only by commutative operand order — IEEE add/mul are
+// commutative, so those replay to bit-identical CWND series and share one
+// exact distance.
+//
+// The cache is sharded and mutex-striped so util::ThreadPool workers scoring
+// different buckets probe it concurrently without contending on one lock.
+// Entries are exact (full canonical-tree equality is verified on lookup, not
+// just the hash) and never evicted: a synthesize() run owns one cache, and
+// its lifetime bounds the footprint. Distances that were early-abandoned are
+// never inserted — only fully evaluated values are shared.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dsl/expr.hpp"
+#include "trace/trace.hpp"
+
+namespace abg::synth {
+
+// Content fingerprint of a segment working set (the other half of the cache
+// key). Hashes every sample of every segment, so two working sets collide
+// only by 64-bit accident, not by construction.
+std::uint64_t segment_set_fingerprint(const std::vector<trace::Segment>& segments);
+
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t shard_count = 16);
+
+  // Exact probe for (canonical handler, working-set fingerprint).
+  // `canon_hash` must be dsl::hash_expr(canon). Bumps the instance hit/miss
+  // tallies and the "synth.cache_hits"/"synth.cache_misses" obs counters.
+  std::optional<double> lookup(std::uint64_t fingerprint, std::size_t canon_hash,
+                               const dsl::Expr& canon);
+
+  // Record an exact (never abandoned) distance. Duplicate inserts for the
+  // same key are benign: first write wins, later ones are dropped.
+  void insert(std::uint64_t fingerprint, std::size_t canon_hash, dsl::ExprPtr canon,
+              double distance);
+
+  std::size_t size() const;     // entries across all shards
+  std::uint64_t hits() const;   // instance-local (obs counters are global)
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint;
+    std::size_t canon_hash;
+    dsl::ExprPtr canon;
+    double distance;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Slot key is the combined 64-bit key; same-slot entries (hash
+    // collisions) are disambiguated by full Entry comparison, so hits are
+    // exact, never probabilistic.
+    std::unordered_map<std::uint64_t, std::vector<Entry>> slots;
+  };
+
+  static std::uint64_t combined_key(std::uint64_t fingerprint, std::size_t canon_hash);
+  Shard& shard_for(std::uint64_t key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Relaxed tallies: exactness is asserted in tests (hits + misses == probes).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace abg::synth

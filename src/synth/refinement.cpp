@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 
+#include "dsl/simplify.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
@@ -41,19 +42,47 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
                            const std::vector<trace::Segment>& segments,
                            const std::vector<double>& constant_pool,
                            const SynthesisOptions& opts, util::Rng& rng,
-                           std::size_t* handlers_scored) {
+                           std::size_t* handlers_scored, EvalContext* ctx) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   ScoredHandler best;
   best.sketch = sketch;
+  EvalCache* cache = ctx ? ctx->cache : nullptr;
+  // The effective abandon bound: candidates must beat both the caller's
+  // bucket-best and this sketch's own running best to matter. Tightens as
+  // better candidates land; never loosens. Inert (always +inf) when the
+  // option is off, so the off path does exactly the seed's work.
+  const bool abandon = opts.early_abandon;
+  double cutoff = (abandon && ctx) ? ctx->abandon_above : kInf;
   ConcretizeOptions copts;
   copts.budget = opts.concretize_budget;
   const auto assignments = enumerate_assignments(*sketch, constant_pool, copts, rng);
   for (const auto& assign : assignments) {
     const auto handler = dsl::fill_holes(sketch, assign);
-    const double d = total_distance(*handler, segments, opts.metric, opts.dopts);
+    double d;
+    dsl::ExprPtr canon;
+    std::size_t canon_hash = 0;
+    bool cached = false;
+    if (cache) {
+      canon = dsl::canonicalize(handler);
+      canon_hash = dsl::hash_expr(*canon);
+      if (auto hit = cache->lookup(ctx->fingerprint, canon_hash, *canon)) {
+        d = *hit;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      d = total_distance(*handler, segments, opts.metric, opts.dopts, {}, cutoff);
+      // Only exact values may be shared: a result at or above the cutoff can
+      // be a truncated lower bound from an abandoned evaluation.
+      if (cache && d < cutoff) {
+        cache->insert(ctx->fingerprint, canon_hash, std::move(canon), d);
+      }
+    }
     if (handlers_scored) ++*handlers_scored;
     if (d < best.distance) {
       best.distance = d;
       best.handler = handler;
+      if (abandon) cutoff = std::min(cutoff, d);
     }
   }
   // Same site as the hand count above, so the registry and the per-bucket
@@ -100,6 +129,13 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   std::mutex best_mu;
   std::vector<ScoredHandler> candidates;  // every bucket-best ever seen
 
+  // One memo cache for the whole run, shared by every bucket and iteration
+  // (pool workers hit different mutex stripes concurrently). Re-scoring a
+  // sketch list under an unchanged working set — the terminal exhaustive
+  // phase, and every iteration once the sampler has consumed its pool —
+  // reuses the exact distances instead of replaying.
+  EvalCache cache;
+
   int n = opts.initial_samples;
   int k = opts.initial_keep;
   std::vector<std::size_t> live(states.size());
@@ -139,10 +175,16 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     }
     // Re-score all sketches under the (possibly grown) segment set, as
     // Algorithm 1 line 5 does.
+    EvalContext ctx;
+    ctx.cache = opts.use_eval_cache ? &cache : nullptr;
+    ctx.fingerprint = opts.use_eval_cache ? segment_set_fingerprint(working) : 0;
     ScoredHandler bucket_best;
     for (const auto& sk : st.sketches) {
+      // Bound by this bucket's own best, not the global one: the per-bucket
+      // minimum feeds the top-k ranking and must stay exact.
+      ctx.abandon_above = bucket_best.distance;
       auto scored = score_sketch(sk, working, dsl.constant_pool, opts, st.rng,
-                                 &st.handlers_scored);
+                                 &st.handlers_scored, &ctx);
       if (scored.distance < bucket_best.distance) bucket_best = scored;
       if (past_deadline() && bucket_best.valid()) break;
     }
@@ -276,7 +318,16 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     std::mutex val_mu;
     ScoredHandler winner;
     pool.parallel_for(unique.size(), [&](std::size_t i) {
-      const double d = total_distance(*unique[i].handler, validation, opts.metric, opts.dopts);
+      // Snapshot the winner's distance as the abandon bound: it only ever
+      // shrinks, so a candidate abandoned against a stale value is also at
+      // or above the final minimum and could never have been selected.
+      double cutoff = std::numeric_limits<double>::infinity();
+      if (opts.early_abandon) {
+        std::lock_guard lk(val_mu);
+        cutoff = winner.distance;
+      }
+      const double d =
+          total_distance(*unique[i].handler, validation, opts.metric, opts.dopts, {}, cutoff);
       std::lock_guard lk(val_mu);
       if (d < winner.distance) {
         winner = unique[i];

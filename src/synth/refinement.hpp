@@ -22,6 +22,7 @@
 #include "synth/buckets.hpp"
 #include "synth/concretize.hpp"
 #include "synth/enumerator.hpp"
+#include "synth/eval_cache.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -52,6 +53,17 @@ struct SynthesisOptions {
 
   std::size_t threads = 0;  // 0 = hardware concurrency
   std::uint64_t seed = 7;
+
+  // --- Evaluation fast path (ISSUE 2). Both knobs change only how much
+  // work is done, never the result: the selected handlers and reported
+  // distances are bit-identical with them on or off (asserted by the golden
+  // test in tests/test_fast_path.cpp).
+  // Memoize total_distance by (canonical handler, working-set fingerprint),
+  // shared across buckets and iterations ("synth.cache_hits"/"_misses").
+  bool use_eval_cache = true;
+  // Thread the running best distance into total_distance/DTW so hopeless
+  // candidates abandon early ("dtw.early_abandons", "synth.distance_abandons").
+  bool early_abandon = true;
 };
 
 struct ScoredHandler {
@@ -97,14 +109,36 @@ struct SynthesisResult {
                                                                  std::size_t iter) const;
 };
 
+// Shared state for the evaluation fast path, threaded through score_sketch
+// by the refinement loop. Null cache disables memoization; an infinite
+// abandon_above disables early abandoning. The default-constructed context
+// is equivalent to passing none.
+struct EvalContext {
+  EvalCache* cache = nullptr;      // shared across buckets + iterations
+  std::uint64_t fingerprint = 0;   // segment_set_fingerprint(working set)
+  // Candidates that cannot beat this distance may be abandoned mid-
+  // evaluation. The refinement loop passes the bucket's best-so-far (not the
+  // global best: bucket scores feed the top-k ranking, so each bucket's own
+  // minimum must stay exact).
+  double abandon_above = std::numeric_limits<double>::infinity();
+};
+
 // Score one sketch against a working set of segments: concretize (§4.2),
 // replay every handler, return the best. `handlers_scored` is incremented
-// by the number of concrete handlers evaluated.
+// by the number of concrete handlers evaluated (cache hits included — a hit
+// is a scored handler whose distance was reused, keeping the Table 4 / §6
+// accounting identical with the fast path on).
+//
+// With a context: candidates whose true distance is >= ctx->abandon_above
+// may come back with distance = +inf instead of their exact score. The
+// returned best is exact whenever it beats ctx->abandon_above, which is the
+// only case the refinement loop consumes.
 ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
                            const std::vector<trace::Segment>& segments,
                            const std::vector<double>& constant_pool,
                            const SynthesisOptions& opts, util::Rng& rng,
-                           std::size_t* handlers_scored = nullptr);
+                           std::size_t* handlers_scored = nullptr,
+                           EvalContext* ctx = nullptr);
 
 // Run the full refinement loop over the DSL and segment pool.
 SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment>& segments,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "dsl/eval.hpp"
+#include "obs/registry.hpp"
 
 namespace abg::synth {
 
@@ -41,17 +43,29 @@ std::vector<double> observed_series_pkts(const trace::Segment& segment) {
 
 double segment_distance(const dsl::Expr& handler, const trace::Segment& segment,
                         distance::Metric metric, const distance::DistanceOptions& dopts,
-                        const ReplayOptions& ropts) {
+                        const ReplayOptions& ropts, double abandon_above) {
   const auto synth = replay(handler, segment, ropts);
   const auto observed = observed_series_pkts(segment);
-  return distance::compute(metric, synth, observed, dopts);
+  return distance::compute(metric, synth, observed, dopts, abandon_above);
 }
 
 double total_distance(const dsl::Expr& handler, const std::vector<trace::Segment>& segments,
                       distance::Metric metric, const distance::DistanceOptions& dopts,
-                      const ReplayOptions& ropts) {
+                      const ReplayOptions& ropts, double abandon_above) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const bool bounded = std::isfinite(abandon_above);
   double sum = 0.0;
-  for (const auto& seg : segments) sum += segment_distance(handler, seg, metric, dopts, ropts);
+  for (const auto& seg : segments) {
+    // Remaining budget for this segment: if its distance alone reaches it,
+    // the total cannot come in under the bound.
+    sum += segment_distance(handler, seg, metric, dopts, ropts,
+                            bounded ? abandon_above - sum : distance::kNoAbandon);
+    if (bounded && sum >= abandon_above) {
+      static auto& c_ab = obs::counter("synth.distance_abandons");
+      c_ab.add();
+      return kInf;
+    }
+  }
   return sum;
 }
 

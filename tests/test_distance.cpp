@@ -163,5 +163,102 @@ TEST(Compute, MetricNamesAreStable) {
   EXPECT_EQ(all_metrics().size(), 5u);
 }
 
+TEST(DtwAbandon, UnboundedMatchesDefault) {
+  auto a = sine(300, 60);
+  auto b = sine(300, 60, 0.4);
+  EXPECT_DOUBLE_EQ(dtw(a, b), dtw(a, b, 0.0, kNoAbandon));
+  EXPECT_DOUBLE_EQ(dtw(a, b, 0.2), dtw(a, b, 0.2, kNoAbandon));
+}
+
+TEST(DtwAbandon, BoundAboveTrueDistanceIsExact) {
+  // A bound the true distance never reaches must not perturb the value —
+  // the row-abandon check is a lower bound, never an approximation.
+  auto a = sine(300, 60);
+  auto b = sine(300, 60, 0.4);
+  const double exact = dtw(a, b);
+  EXPECT_DOUBLE_EQ(dtw(a, b, 0.0, exact * 1.0000001), exact);
+  EXPECT_DOUBLE_EQ(dtw(a, b, 0.0, exact + 1.0), exact);
+}
+
+TEST(DtwAbandon, NeverReturnsAWrongFiniteValue) {
+  // The contract: the result is the exact distance or +inf, nothing in
+  // between — a bounded run can refuse to finish, but cannot lie.
+  auto a = sine(300, 60);
+  auto b = sine(300, 60, 0.4);
+  const double exact = dtw(a, b);
+  ASSERT_GT(exact, 0.0);
+  for (double frac : {0.25, 0.5, 0.9, 1.0, 1.1}) {
+    const double d = dtw(a, b, 0.0, exact * frac);
+    EXPECT_TRUE(std::isinf(d) || d == exact) << "frac=" << frac << " d=" << d;
+    if (std::isinf(d)) {
+      EXPECT_LE(exact * frac, exact + 1e-12);  // only losers abandon
+    }
+  }
+  EXPECT_TRUE(std::isinf(dtw(a, b, 0.0, 0.0)));  // non-positive bound: instant prune
+}
+
+TEST(DtwAbandon, RowMinimumAbandonsHopelessPair) {
+  // Constant vertical gap of ~100: every DP row adds >= ~98 of path cost, so
+  // a cutoff of 1.0 must trigger the per-row abandon within a few rows (the
+  // endpoint LB is below the raw cutoff here, so the row check is what runs).
+  auto a = sine(300, 60);
+  auto b = a;
+  for (auto& x : b) x += 100.0;
+  EXPECT_TRUE(std::isinf(dtw(a, b, 0.0, 1.0)));
+  const double exact = dtw(a, b);
+  EXPECT_DOUBLE_EQ(dtw(a, b, 0.0, exact * 1.01), exact);
+}
+
+TEST(DtwAbandon, EndpointLowerBoundPrunesWithoutDp) {
+  // Endpoint gap of 100 on 2+2 points: normalized lower bound is
+  // 2*(|a0-b0|+|a1-b1|)/4 = 50; any cutoff below that prunes pre-DP.
+  std::vector<double> a{0.0, 0.0}, b{100.0, 100.0};
+  const double exact = dtw(a, b);
+  EXPECT_TRUE(std::isinf(dtw(a, b, 0.0, 10.0)));
+  EXPECT_DOUBLE_EQ(dtw(a, b, 0.0, exact + 1.0), exact);
+}
+
+TEST(DtwAbandon, SelectionUnderBoundMatchesExactSelection) {
+  // Running-best loop, the synthesis usage pattern: threading the current
+  // best as the bound must select the same winner with the same distance.
+  auto ref = sine(256, 64);
+  std::vector<std::vector<double>> candidates;
+  for (int i = 0; i < 12; ++i) {
+    candidates.push_back(sine(256, 64, 0.05 * static_cast<double>(12 - i)));
+  }
+  double best_exact = std::numeric_limits<double>::infinity();
+  std::size_t best_exact_i = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double d = dtw(ref, candidates[i]);
+    if (d < best_exact) {
+      best_exact = d;
+      best_exact_i = i;
+    }
+  }
+  double best_fast = std::numeric_limits<double>::infinity();
+  std::size_t best_fast_i = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double d = dtw(ref, candidates[i], 0.0, best_fast);
+    if (d < best_fast) {
+      best_fast = d;
+      best_fast_i = i;
+    }
+  }
+  EXPECT_EQ(best_fast_i, best_exact_i);
+  EXPECT_DOUBLE_EQ(best_fast, best_exact);
+}
+
+TEST(ComputeAbandon, ThreadsBoundThroughToDtw) {
+  auto a = sine(300, 60);
+  auto b = sine(300, 60, 0.4);
+  DistanceOptions opts;
+  const double exact = compute(Metric::kDtw, a, b, opts);
+  EXPECT_DOUBLE_EQ(compute(Metric::kDtw, a, b, opts, exact + 1.0), exact);
+  EXPECT_TRUE(std::isinf(compute(Metric::kDtw, a, b, opts, exact * 0.5)));
+  // Non-DTW metrics evaluate exactly regardless of the bound.
+  const double euc = compute(Metric::kEuclidean, a, b, opts);
+  EXPECT_DOUBLE_EQ(compute(Metric::kEuclidean, a, b, opts, euc * 0.01), euc);
+}
+
 }  // namespace
 }  // namespace abg::distance

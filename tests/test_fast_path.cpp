@@ -1,0 +1,285 @@
+// The candidate-evaluation fast path (memo cache + early-abandoning DTW)
+// must be a pure work-saver: with it on or off, every per-bucket score,
+// every iteration report, and the final handler must be bit-identical. The
+// golden test here asserts exactly that; the unit tests cover the cache's
+// exactness, its concurrent hit/miss accounting, and the rule that an
+// abandoned evaluation can never displace a real best.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "dsl/simplify.hpp"
+#include "net/simulator.hpp"
+#include "synth/eval_cache.hpp"
+#include "synth/refinement.hpp"
+#include "synth/replay.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abg::synth {
+namespace {
+
+std::vector<trace::Segment> reno_segments() {
+  static const auto segments = [] {
+    trace::Environment env;
+    env.bandwidth_bps = 10e6;
+    env.rtt_s = 0.04;
+    env.duration_s = 10.0;
+    env.seed = 21;
+    auto t = net::run_connection("reno", env);
+    return trace::segment_all({trace::trim_warmup(t, 2.0)}, 20);
+  }();
+  return segments;
+}
+
+SynthesisOptions quick_opts(bool fast_path) {
+  SynthesisOptions o;
+  o.initial_samples = 6;
+  o.initial_keep = 3;
+  o.initial_segments = 2;
+  o.concretize_budget = 12;
+  o.max_iterations = 3;
+  o.exhaustive_cap = 60;
+  o.max_depth = 3;
+  o.max_nodes = 5;
+  o.max_holes = 2;
+  o.threads = 2;
+  o.seed = 5;
+  o.use_eval_cache = fast_path;
+  o.early_abandon = fast_path;
+  return o;
+}
+
+// --- Golden comparison: fast path off == fast path on, bit for bit. -------
+
+TEST(FastPathGolden, SynthesisIsBitIdenticalWithFastPathOn) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 3u);
+  const auto slow = synthesize(dsl::reno_dsl(), segs, quick_opts(false));
+  const auto fast = synthesize(dsl::reno_dsl(), segs, quick_opts(true));
+
+  ASSERT_TRUE(slow.best.valid());
+  ASSERT_TRUE(fast.best.valid());
+  EXPECT_EQ(dsl::to_string(*slow.best.handler), dsl::to_string(*fast.best.handler));
+  EXPECT_EQ(slow.best.distance, fast.best.distance);  // exact, not approximate
+
+  EXPECT_EQ(slow.initial_buckets, fast.initial_buckets);
+  EXPECT_EQ(slow.total_sketches, fast.total_sketches);
+  EXPECT_EQ(slow.total_handlers_scored, fast.total_handlers_scored);
+  EXPECT_EQ(slow.candidates_validated, fast.candidates_validated);
+  EXPECT_EQ(slow.timed_out, fast.timed_out);
+
+  ASSERT_EQ(slow.iterations.size(), fast.iterations.size());
+  for (std::size_t i = 0; i < slow.iterations.size(); ++i) {
+    const auto& a = slow.iterations[i];
+    const auto& b = fast.iterations[i];
+    EXPECT_EQ(a.n_target, b.n_target);
+    EXPECT_EQ(a.keep, b.keep);
+    EXPECT_EQ(a.segments_used, b.segments_used);
+    ASSERT_EQ(a.buckets.size(), b.buckets.size()) << "iteration " << i;
+    for (std::size_t j = 0; j < a.buckets.size(); ++j) {
+      EXPECT_EQ(a.buckets[j].label, b.buckets[j].label) << "iter " << i << " rank " << j;
+      EXPECT_EQ(a.buckets[j].score, b.buckets[j].score) << a.buckets[j].label;
+      EXPECT_EQ(a.buckets[j].sketches_enumerated, b.buckets[j].sketches_enumerated);
+      EXPECT_EQ(a.buckets[j].handlers_scored, b.buckets[j].handlers_scored);
+      EXPECT_EQ(a.buckets[j].exhausted, b.buckets[j].exhausted);
+      EXPECT_EQ(a.buckets[j].retained, b.buckets[j].retained);
+    }
+  }
+}
+
+// --- Cache exactness. ------------------------------------------------------
+
+TEST(EvalCache, CachedDistanceEqualsRecomputedDistance) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 2u);
+  const std::vector<trace::Segment> working{segs[0], segs[1]};
+  const auto fp = segment_set_fingerprint(working);
+
+  auto sketch = dsl::add(dsl::sig(dsl::Signal::kCwnd),
+                         dsl::mul(dsl::hole(0), dsl::sig(dsl::Signal::kRenoInc)));
+  SynthesisOptions opts = quick_opts(true);
+  EvalCache cache;
+  EvalContext ctx;
+  ctx.cache = &cache;
+  ctx.fingerprint = fp;
+
+  util::Rng rng(3);
+  const std::vector<double> pool{0.001, 0.5, 1.0, 100.0};
+  auto first = score_sketch(sketch, working, pool, opts, rng, nullptr, &ctx);
+  ASSERT_TRUE(first.valid());
+  EXPECT_GT(cache.size(), 0u);
+
+  // Every cached entry must hold the distance a from-scratch evaluation of
+  // its handler produces on the same working set.
+  for (double c : pool) {
+    const auto handler = dsl::fill_holes(sketch, {c});
+    const auto canon = dsl::canonicalize(handler);
+    const auto hit = cache.lookup(fp, dsl::hash_expr(*canon), *canon);
+    if (!hit) continue;  // worse-than-best candidates may have been abandoned
+    const double recomputed = total_distance(*handler, working, opts.metric, opts.dopts);
+    EXPECT_EQ(*hit, recomputed) << dsl::to_string(*handler);
+  }
+
+  // Re-scoring the identical sketch+working set is answered from the cache
+  // (for every handler the first pass stored) and returns the same best.
+  util::Rng rng2(3);
+  const auto hits_before = cache.hits();
+  EvalContext ctx2;
+  ctx2.cache = &cache;
+  ctx2.fingerprint = fp;
+  auto second = score_sketch(sketch, working, pool, opts, rng2, nullptr, &ctx2);
+  ASSERT_TRUE(second.valid());
+  EXPECT_GT(cache.hits(), hits_before);
+  EXPECT_EQ(dsl::to_string(*first.handler), dsl::to_string(*second.handler));
+  EXPECT_EQ(first.distance, second.distance);
+}
+
+TEST(EvalCache, KeysOnBothHandlerAndSegmentSet) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 2u);
+  const std::vector<trace::Segment> set_a{segs[0]};
+  const std::vector<trace::Segment> set_b{segs[1]};
+  const auto fp_a = segment_set_fingerprint(set_a);
+  const auto fp_b = segment_set_fingerprint(set_b);
+  EXPECT_NE(fp_a, fp_b);
+
+  EvalCache cache;
+  const auto h1 = dsl::add(dsl::sig(dsl::Signal::kCwnd), dsl::constant(1.0));
+  const auto h2 = dsl::add(dsl::sig(dsl::Signal::kCwnd), dsl::constant(2.0));
+  cache.insert(fp_a, dsl::hash_expr(*h1), h1, 10.0);
+  cache.insert(fp_b, dsl::hash_expr(*h1), h1, 20.0);
+  cache.insert(fp_a, dsl::hash_expr(*h2), h2, 30.0);
+
+  EXPECT_EQ(cache.lookup(fp_a, dsl::hash_expr(*h1), *h1).value(), 10.0);
+  EXPECT_EQ(cache.lookup(fp_b, dsl::hash_expr(*h1), *h1).value(), 20.0);
+  EXPECT_EQ(cache.lookup(fp_a, dsl::hash_expr(*h2), *h2).value(), 30.0);
+  EXPECT_FALSE(cache.lookup(fp_b, dsl::hash_expr(*h2), *h2).has_value());
+  // Duplicate insert: first write wins, no double entry.
+  const auto size_before = cache.size();
+  cache.insert(fp_a, dsl::hash_expr(*h1), h1, 99.0);
+  EXPECT_EQ(cache.size(), size_before);
+  EXPECT_EQ(cache.lookup(fp_a, dsl::hash_expr(*h1), *h1).value(), 10.0);
+}
+
+TEST(EvalCache, CommutativeVariantsShareOneEntry) {
+  // cwnd + reno_inc and reno_inc + cwnd canonicalize identically, so one
+  // cached evaluation serves both (IEEE addition is commutative).
+  const auto ab = dsl::add(dsl::sig(dsl::Signal::kCwnd), dsl::sig(dsl::Signal::kRenoInc));
+  const auto ba = dsl::add(dsl::sig(dsl::Signal::kRenoInc), dsl::sig(dsl::Signal::kCwnd));
+  EXPECT_EQ(dsl::canonical_hash(ab), dsl::canonical_hash(ba));
+
+  EvalCache cache;
+  const auto canon_ab = dsl::canonicalize(ab);
+  cache.insert(7, dsl::canonical_hash(ab), canon_ab, 4.5);
+  const auto canon_ba = dsl::canonicalize(ba);
+  EXPECT_EQ(cache.lookup(7, dsl::canonical_hash(ba), *canon_ba).value(), 4.5);
+}
+
+// --- Concurrent hit/miss accounting under the real thread pool. ------------
+
+TEST(EvalCache, ConcurrentProbesCountExactlyAndStayCorrect) {
+  constexpr std::size_t kKeys = 48;
+  constexpr std::size_t kThreadsTasks = 16;
+  constexpr std::size_t kProbesPerTask = 400;
+
+  // Distinct canonical handlers: cwnd + k for k = 0..kKeys-1. The cached
+  // value encodes the key so a cross-wired entry is detected immediately.
+  std::vector<dsl::ExprPtr> handlers;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    handlers.push_back(
+        dsl::add(dsl::sig(dsl::Signal::kCwnd), dsl::constant(static_cast<double>(k))));
+  }
+
+  EvalCache cache(8);
+  std::atomic<std::uint64_t> wrong{0};
+  util::ThreadPool pool(8);
+  pool.parallel_for(kThreadsTasks, [&](std::size_t task) {
+    util::Rng rng(task + 1);
+    for (std::size_t p = 0; p < kProbesPerTask; ++p) {
+      const auto k = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kKeys) - 1));
+      const std::uint64_t fp = 1000 + k % 3;  // a few segment sets in flight
+      const auto& h = handlers[k];
+      const double expect = static_cast<double>(k) * 1e3 + static_cast<double>(fp);
+      const auto hit = cache.lookup(fp, dsl::hash_expr(*h), *h);
+      if (hit) {
+        if (*hit != expect) wrong.fetch_add(1);
+      } else {
+        cache.insert(fp, dsl::hash_expr(*h), h, expect);
+      }
+    }
+  });
+
+  EXPECT_EQ(wrong.load(), 0u);
+  const std::uint64_t probes = kThreadsTasks * kProbesPerTask;
+  EXPECT_EQ(cache.hits() + cache.misses(), probes);
+  EXPECT_GT(cache.hits(), 0u);
+  // At most one entry per (handler, fingerprint) pair despite racing inserts.
+  EXPECT_LE(cache.size(), kKeys * 3);
+  // Every key that was ever inserted now answers correctly.
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const std::uint64_t fp = 1000 + k % 3;
+    const auto hit = cache.lookup(fp, dsl::hash_expr(*handlers[k]), *handlers[k]);
+    if (hit) {
+      EXPECT_EQ(*hit, static_cast<double>(k) * 1e3 + static_cast<double>(fp));
+    }
+  }
+}
+
+// --- Early-abandon equivalence. --------------------------------------------
+
+TEST(EarlyAbandon, AbandonedScoreIsNeverSelectedAsBest) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 2u);
+  const std::vector<trace::Segment> working{segs[0], segs[1]};
+  auto sketch = dsl::add(dsl::sig(dsl::Signal::kCwnd),
+                         dsl::mul(dsl::hole(0), dsl::sig(dsl::Signal::kRenoInc)));
+  const std::vector<double> pool{0.001, 0.5, 1.0, 100.0};
+
+  SynthesisOptions exact_opts = quick_opts(false);
+  util::Rng rng_a(3);
+  const auto exact = score_sketch(sketch, working, pool, exact_opts, rng_a, nullptr, nullptr);
+  ASSERT_TRUE(exact.valid());
+
+  // A bound just above the true best: the winner still computes fully (its
+  // running lower bounds stay under the cutoff), every loser may abandon.
+  SynthesisOptions fast_opts = quick_opts(true);
+  EvalContext ctx;
+  ctx.abandon_above = exact.distance * 1.0000001;
+  util::Rng rng_b(3);
+  const auto fast = score_sketch(sketch, working, pool, fast_opts, rng_b, nullptr, &ctx);
+  ASSERT_TRUE(fast.valid());
+  EXPECT_EQ(dsl::to_string(*exact.handler), dsl::to_string(*fast.handler));
+  EXPECT_EQ(exact.distance, fast.distance);
+
+  // A bound below everything: all candidates abandon, none is promoted to
+  // best, and the caller sees +inf (which a `<` comparison can never keep).
+  EvalContext ctx_low;
+  ctx_low.abandon_above = exact.distance * 0.5;
+  util::Rng rng_c(3);
+  const auto none = score_sketch(sketch, working, pool, fast_opts, rng_c, nullptr, &ctx_low);
+  EXPECT_FALSE(none.distance < ctx_low.abandon_above);
+}
+
+TEST(EarlyAbandon, TotalDistanceBoundIsExactOrInfinite) {
+  auto segs = reno_segments();
+  ASSERT_GE(segs.size(), 3u);
+  const std::vector<trace::Segment> working{segs[0], segs[1], segs[2]};
+  const auto handler = dsl::add(dsl::sig(dsl::Signal::kCwnd), dsl::sig(dsl::Signal::kRenoInc));
+  const double exact =
+      total_distance(*handler, working, distance::Metric::kDtw);
+  ASSERT_TRUE(std::isfinite(exact));
+  // Bound above: exact. Bound at or below: +inf, never a wrong finite value.
+  EXPECT_EQ(total_distance(*handler, working, distance::Metric::kDtw, {}, {},
+                           exact * 1.0000001),
+            exact);
+  const double abandoned =
+      total_distance(*handler, working, distance::Metric::kDtw, {}, {}, exact * 0.25);
+  EXPECT_TRUE(std::isinf(abandoned) || abandoned == exact);
+  EXPECT_TRUE(std::isinf(
+      total_distance(*handler, working, distance::Metric::kDtw, {}, {}, 0.0)));
+}
+
+}  // namespace
+}  // namespace abg::synth
