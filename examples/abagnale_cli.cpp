@@ -29,7 +29,9 @@
 #include "obs/trace_events.hpp"
 #include "synth/replay.hpp"
 #include "trace/trace_io.hpp"
+#include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -41,21 +43,31 @@ int usage() {
                "  abagnale_cli list\n"
                "  abagnale_cli collect <cca> <out.csv> [bw_mbps rtt_ms dur_s loss xt_mbps]\n"
                "  abagnale_cli classify <trace.csv>...\n"
-               "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] [--no-fast-path] "
-               "<trace.csv>...\n"
+               "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] [--no-fast-path]\n"
+               "                [--checkpoint <state>] [--resume] <trace.csv>...\n"
                "  abagnale_cli match <cca> <trace.csv>...\n"
-               "observability options (classify/synthesize/match, anywhere on the line):\n"
+               "options (any subcommand, anywhere on the line):\n"
+               "  --repair-traces         drop/clamp malformed trace rows instead of failing\n"
                "  --metrics-out <m.json>  JSON run report: counters/gauges/histograms\n"
-               "  --trace-out <t.json>    Chrome trace-event spans (chrome://tracing, Perfetto)\n");
+               "  --trace-out <t.json>    Chrome trace-event spans (chrome://tracing, Perfetto)\n"
+               "exit codes: 0 ok, 1 unknown, 2 usage, 3 parse, 4 invalid-trace, 5 timeout,\n"
+               "            6 cancelled, 7 io, 8 numeric\n");
   return 2;
 }
+
+// --repair-traces, extracted in main() alongside the obs flags.
+trace::LoadOptions g_load_opts;
+// Error class of the last trace that failed to load, so a run that loses all
+// of its inputs exits with the cause (parse vs io vs invalid) rather than 1.
+util::StatusCode g_load_error = util::StatusCode::kOk;
 
 std::vector<trace::Trace> load_all(int argc, char** argv, int first) {
   std::vector<trace::Trace> traces;
   for (int i = first; i < argc; ++i) {
-    auto t = trace::load_csv(argv[i]);
-    if (!t) {
-      std::fprintf(stderr, "failed to load %s\n", argv[i]);
+    auto t = trace::load_csv(argv[i], g_load_opts);
+    if (!t.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[i], t.status().to_string().c_str());
+      g_load_error = t.status().code();
       continue;
     }
     std::printf("loaded %s: cca=%s, %zu samples\n", argv[i], t->cca_name.c_str(),
@@ -63,6 +75,17 @@ std::vector<trace::Trace> load_all(int argc, char** argv, int first) {
     traces.push_back(std::move(*t));
   }
   return traces;
+}
+
+// Exit code when a subcommand got no usable traces.
+int no_traces_rc() {
+  return g_load_error == util::StatusCode::kOk ? 1 : util::exit_code(g_load_error);
+}
+
+bool parse_double_arg(const char* flag, const char* text, double* out) {
+  if (util::parse_double(text, out)) return true;
+  std::fprintf(stderr, "%s: bad number '%s'\n", flag, text);
+  return false;
 }
 
 int cmd_list() {
@@ -76,16 +99,24 @@ int cmd_list() {
 
 int cmd_collect(int argc, char** argv) {
   if (argc < 4) return usage();
+  double bw_mbps = 10.0, rtt_ms = 50.0, dur_s = 30.0, loss = 0.0, xt_mbps = 0.0;
+  if ((argc > 4 && !parse_double_arg("bw_mbps", argv[4], &bw_mbps)) ||
+      (argc > 5 && !parse_double_arg("rtt_ms", argv[5], &rtt_ms)) ||
+      (argc > 6 && !parse_double_arg("dur_s", argv[6], &dur_s)) ||
+      (argc > 7 && !parse_double_arg("loss", argv[7], &loss)) ||
+      (argc > 8 && !parse_double_arg("xt_mbps", argv[8], &xt_mbps))) {
+    return usage();
+  }
   trace::Environment env;
-  env.bandwidth_bps = (argc > 4 ? std::atof(argv[4]) : 10.0) * 1e6;
-  env.rtt_s = (argc > 5 ? std::atof(argv[5]) : 50.0) / 1e3;
-  env.duration_s = argc > 6 ? std::atof(argv[6]) : 30.0;
-  env.random_loss = argc > 7 ? std::atof(argv[7]) : 0.0;
-  env.cross_traffic_bps = (argc > 8 ? std::atof(argv[8]) : 0.0) * 1e6;
+  env.bandwidth_bps = bw_mbps * 1e6;
+  env.rtt_s = rtt_ms / 1e3;
+  env.duration_s = dur_s;
+  env.random_loss = loss;
+  env.cross_traffic_bps = xt_mbps * 1e6;
   auto t = net::run_connection(argv[2], env);
-  if (!trace::save_csv(t, argv[3])) {
-    std::fprintf(stderr, "write failed: %s\n", argv[3]);
-    return 1;
+  if (auto st = trace::save_csv(t, argv[3]); !st.is_ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.to_string().c_str());
+    return util::exit_code(st.code());
   }
   std::printf("wrote %s (%zu samples)\n", argv[3], t.samples.size());
   return 0;
@@ -93,7 +124,7 @@ int cmd_collect(int argc, char** argv) {
 
 int cmd_classify(int argc, char** argv) {
   auto traces = load_all(argc, argv, 2);
-  if (traces.empty()) return 1;
+  if (traces.empty()) return no_traces_rc();
   classify::Classifier classifier{classify::ClassifierOptions{}};
   auto result = classifier.classify(traces);
   std::printf("label: %s\n", result.label.c_str());
@@ -125,28 +156,51 @@ int cmd_synthesize(int argc, char** argv) {
       first += 1;
       continue;
     }
+    if (std::strcmp(argv[first], "--resume") == 0) {
+      opts.synth.resume = true;
+      first += 1;
+      continue;
+    }
     if (first + 1 >= argc) return usage();
     if (std::strcmp(argv[first], "--dsl") == 0) {
       opts.dsl_override = argv[first + 1];
     } else if (std::strcmp(argv[first], "--timeout") == 0) {
-      opts.synth.timeout_s = std::atof(argv[first + 1]);
+      if (!parse_double_arg("--timeout", argv[first + 1], &opts.synth.timeout_s)) return usage();
+    } else if (std::strcmp(argv[first], "--checkpoint") == 0) {
+      opts.synth.checkpoint_path = argv[first + 1];
     } else {
       return usage();
     }
     first += 2;
   }
+  if (opts.synth.resume && opts.synth.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint <state>\n");
+    return usage();
+  }
   auto traces = load_all(argc, argv, first);
-  if (traces.empty()) return 1;
+  if (traces.empty()) return no_traces_rc();
   if (!util::log_level_from_env()) util::set_log_level(util::LogLevel::kInfo);
   core::Abagnale pipeline(opts);
   auto result = pipeline.run(traces);
+  const util::Status& st = result.synthesis.status;
+  if (!st.is_ok() && !result.synthesis.partial) {
+    // Hard failure (e.g. a corrupted checkpoint), not an interrupted search.
+    std::fprintf(stderr, "synthesis failed: %s\n", st.to_string().c_str());
+    return util::exit_code(st.code());
+  }
   if (!result.found()) {
     std::printf("no handler found\n");
-    return 1;
+    return result.synthesis.partial ? util::exit_code(st.code()) : 1;
   }
   std::printf("\nDSL: %s\nhandler: %s\ndistance: %.3f over %zu segments\n",
               result.dsl_name.c_str(), result.handler_string().c_str(), result.distance(),
               result.segments_total);
+  if (result.synthesis.partial) {
+    // Best-so-far from a preempted run: report it, but exit with the
+    // interrupt class so batch drivers can tell it from a completed search.
+    std::printf("partial result: %s\n", st.to_string().c_str());
+    return util::exit_code(st.code());
+  }
   return 0;
 }
 
@@ -158,7 +212,7 @@ int cmd_match(int argc, char** argv) {
     return 1;
   }
   auto traces = load_all(argc, argv, 3);
-  if (traces.empty()) return 1;
+  if (traces.empty()) return no_traces_rc();
   std::vector<trace::Trace> steady;
   for (const auto& t : traces) steady.push_back(trace::trim_warmup(t, 2.0));
   auto segs = trace::segment_all(steady, 20);
@@ -184,6 +238,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--repair-traces") == 0) {
+      g_load_opts.repair = true;
     } else {
       args.push_back(argv[i]);
     }

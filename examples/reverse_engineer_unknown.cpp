@@ -25,6 +25,24 @@ int main(int argc, char** argv) {
   auto envs = net::default_environments(3, /*seed=*/77);
   for (auto& e : envs) e.duration_s = 15.0;
   auto traces = net::collect_traces(unknown, envs);
+  const auto usable = [](const std::vector<trace::Trace>& ts) {
+    for (const auto& t : ts) {
+      if (!t.samples.empty()) return true;
+    }
+    return false;
+  };
+  if (!usable(traces)) {
+    // Measurement can come up empty on a degenerate draw; retry the whole
+    // collection once with fresh seeds before giving up.
+    std::fprintf(stderr, "collection produced no samples; retrying with fresh seeds\n");
+    envs = net::default_environments(3, /*seed=*/78);
+    for (auto& e : envs) e.duration_s = 15.0;
+    traces = net::collect_traces(unknown, envs);
+    if (!usable(traces)) {
+      std::fprintf(stderr, "collection failed twice; giving up\n");
+      return 1;
+    }
+  }
   std::printf("collected %zu connections from the unknown CCA\n", traces.size());
 
   // --- 2. Classify. ---------------------------------------------------------
@@ -55,8 +73,15 @@ int main(int argc, char** argv) {
   auto result = pipeline.run(traces);
 
   if (!result.found()) {
-    std::printf("no handler found\n");
+    std::printf("no handler found%s\n",
+                result.synthesis.status.is_ok()
+                    ? ""
+                    : (": " + result.synthesis.status.to_string()).c_str());
     return 1;
+  }
+  if (result.synthesis.partial) {
+    std::printf("(search preempted: %s — reporting best-so-far)\n",
+                result.synthesis.status.to_string().c_str());
   }
   std::printf("synthesized handler: %s\n", result.handler_string().c_str());
   std::printf("distance: %.2f over %zu segments\n\n", result.distance(),

@@ -7,11 +7,12 @@
 //               [bandwidth_mbps] [rtt_ms] [duration_s] [noise]
 // Example:      ./build/examples/trace_collect cubic /tmp/cubic 10 50 30 0.1
 #include <cstdio>
-#include <cstdlib>
 
 #include "net/simulator.hpp"
 #include "trace/noise.hpp"
 #include "trace/trace_io.hpp"
+#include "util/csv.hpp"
+#include "util/status.hpp"
 
 int main(int argc, char** argv) {
   using namespace abg;
@@ -26,14 +27,28 @@ int main(int argc, char** argv) {
   }
   const std::string cca_name = argv[1];
   const std::string prefix = argv[2];
+  double bw_mbps = 10.0, rtt_ms = 50.0, dur_s = 30.0, noise_frac = 0.0;
+  if ((argc > 3 && !util::parse_double(argv[3], &bw_mbps)) ||
+      (argc > 4 && !util::parse_double(argv[4], &rtt_ms)) ||
+      (argc > 5 && !util::parse_double(argv[5], &dur_s)) ||
+      (argc > 6 && !util::parse_double(argv[6], &noise_frac))) {
+    std::fprintf(stderr, "bad numeric argument\n");
+    return 2;
+  }
   trace::Environment env;
-  env.bandwidth_bps = (argc > 3 ? std::atof(argv[3]) : 10.0) * 1e6;
-  env.rtt_s = (argc > 4 ? std::atof(argv[4]) : 50.0) / 1e3;
-  env.duration_s = argc > 5 ? std::atof(argv[5]) : 30.0;
-  const double noise_frac = argc > 6 ? std::atof(argv[6]) : 0.0;
+  env.bandwidth_bps = bw_mbps * 1e6;
+  env.rtt_s = rtt_ms / 1e3;
+  env.duration_s = dur_s;
   env.seed = 1;
 
   auto t = net::run_connection(cca_name, env);
+  if (t.samples.empty()) {
+    // A degenerate draw (e.g. every packet lost under an extreme loss rate)
+    // can produce an empty trace; one fresh-seed retry usually recovers.
+    std::fprintf(stderr, "empty trace from %s; retrying with a fresh seed\n", cca_name.c_str());
+    env.seed += 1;
+    t = net::run_connection(cca_name, env);
+  }
   std::printf("collected %zu ACK samples from %s under %s\n", t.samples.size(),
               cca_name.c_str(), env.label().c_str());
 
@@ -48,15 +63,19 @@ int main(int argc, char** argv) {
   }
 
   const std::string path = prefix + "_" + t.env.label() + ".csv";
-  if (!trace::save_csv(t, path)) {
-    std::fprintf(stderr, "failed to write %s\n", path.c_str());
-    return 1;
+  if (auto st = trace::save_csv(t, path); !st.is_ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(), st.to_string().c_str());
+    return util::exit_code(st.code());
   }
   std::printf("wrote %s\n", path.c_str());
 
   // Round-trip check so the file is immediately usable.
   auto loaded = trace::load_csv(path);
-  std::printf("reload check: %s (%zu samples)\n", loaded ? "ok" : "FAILED",
-              loaded ? loaded->samples.size() : 0);
-  return loaded ? 0 : 1;
+  std::printf("reload check: %s (%zu samples)\n", loaded.ok() ? "ok" : "FAILED",
+              loaded.ok() ? loaded->samples.size() : 0);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().to_string().c_str());
+    return util::exit_code(loaded.status().code());
+  }
+  return 0;
 }

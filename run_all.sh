@@ -2,23 +2,83 @@
 # Regenerates test_output.txt and bench_output.txt (the recorded runs), then
 # re-runs the tier-1 tests under AddressSanitizer so the obs registry
 # atomics, trace recorder, and thread-pool instrumentation are exercised
-# under ASan on every recorded run.
+# under ASan on every recorded run, plus a CLI smoke pass that exercises the
+# per-class exit codes end to end.
 #
 # Failure handling: `set -o pipefail` makes a failing ctest/bench propagate
-# through the `tee` pipelines, and `set -e` stops the script there — the
-# final ALL-RUNS-COMPLETE marker prints only when every stage passed.
-set -euo pipefail
+# through the `tee` pipelines; every stage runs through run_stage(), which
+# decodes the CLI's error taxonomy (status.hpp) into a readable class name
+# before stopping the script — the final ALL-RUNS-COMPLETE marker prints
+# only when every stage passed.
+set -uo pipefail
 cd /root/repo
 
-ctest --test-dir build --output-on-failure 2>&1 | tee /root/repo/test_output.txt
+# Map the abagnale_cli/status.hpp exit codes to their error classes.
+decode_exit_class() {
+  case "$1" in
+    0) echo "ok" ;;
+    1) echo "unknown-error" ;;
+    2) echo "usage-error" ;;
+    3) echo "parse-error" ;;
+    4) echo "invalid-trace" ;;
+    5) echo "timeout" ;;
+    6) echo "cancelled" ;;
+    7) echo "io-error" ;;
+    8) echo "numeric-error" ;;
+    *) echo "exit-$1" ;;
+  esac
+}
 
-{
-  for b in build/bench/*; do
-    if [ -x "$b" ] && [ -f "$b" ]; then "$b"; fi
-  done
-} 2>&1 | tee /root/repo/bench_output.txt
+# run_stage <name> <cmd...>: run the stage, and on failure report which
+# error class the exit code maps to before aborting the script.
+run_stage() {
+  local name="$1"
+  shift
+  "$@"
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "STAGE-FAILED: $name (exit $rc: $(decode_exit_class "$rc"))" >&2
+    exit "$rc"
+  fi
+}
 
-cmake -B build-asan -S . -DABG_SANITIZE=address
-cmake --build build-asan -j
-ctest --test-dir build-asan --output-on-failure -j 2>&1 | tee /root/repo/asan_output.txt
+run_tests() { ctest --test-dir build --output-on-failure 2>&1 | tee /root/repo/test_output.txt; }
+run_stage "tier1-tests" run_tests
+
+run_benches() {
+  {
+    for b in build/bench/*; do
+      if [ -x "$b" ] && [ -f "$b" ]; then "$b" || return $?; fi
+    done
+  } 2>&1 | tee /root/repo/bench_output.txt
+}
+run_stage "benchmarks" run_benches
+
+# CLI smoke: collect a short trace and score the known handler against it,
+# so the Status-based I/O, validation, and exit-code plumbing all run end to
+# end on every recorded run.
+cli_smoke() {
+  local tmp
+  tmp="$(mktemp -d)"
+  ./build/examples/abagnale_cli collect reno "$tmp/reno.csv" 10 40 5 || return $?
+  ./build/examples/abagnale_cli match reno "$tmp/reno.csv" || return $?
+  # A missing input must exit with the io-error class (7), not a generic 1.
+  ./build/examples/abagnale_cli classify "$tmp/not_there.csv"
+  local rc=$?
+  rm -rf "$tmp"
+  if [ "$rc" -ne 7 ]; then
+    echo "expected io-error exit (7) for a missing trace, got $rc" >&2
+    return 1
+  fi
+  return 0
+}
+run_stage "cli-smoke" cli_smoke
+
+asan_pass() {
+  cmake -B build-asan -S . -DABG_SANITIZE=address || return $?
+  cmake --build build-asan -j || return $?
+  ctest --test-dir build-asan --output-on-failure -j 2>&1 | tee /root/repo/asan_output.txt
+}
+run_stage "asan-tests" asan_pass
+
 echo "ALL-RUNS-COMPLETE"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsl/eval.hpp"
+#include "obs/registry.hpp"
 
 namespace abg::core {
 
@@ -25,7 +26,13 @@ void HandlerCca::init(double mss, double initial_cwnd) {
 }
 
 double HandlerCca::clamp(double next) const {
-  if (!std::isfinite(next)) return cwnd_;  // hold on numeric trouble
+  if (!std::isfinite(next)) {
+    // Hold on numeric trouble, but count it: a synthesized handler that
+    // routinely produces NaN/inf is suspect even though the hold masks it.
+    static auto& c_nonfinite = obs::counter("synth.nonfinite_cwnd");
+    c_nonfinite.add();
+    return cwnd_;
+  }
   return std::clamp(next, 2.0 * mss_, 1e7 * mss_);
 }
 

@@ -4,13 +4,16 @@
 #include <memory>
 #include <mutex>
 
+#include "dsl/parse.hpp"
 #include "dsl/simplify.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_events.hpp"
+#include "synth/checkpoint.hpp"
 #include "synth/replay.hpp"
 #include "trace/sampler.hpp"
+#include "util/fault_injection.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -56,7 +59,12 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
   ConcretizeOptions copts;
   copts.budget = opts.concretize_budget;
   const auto assignments = enumerate_assignments(*sketch, constant_pool, copts, rng);
+  std::size_t evaluated = 0;
   for (const auto& assign : assignments) {
+    // Cancellation poll point: once a valid best exists, a fired token stops
+    // this sketch immediately and the caller keeps the best-so-far.
+    if (ctx && ctx->cancel && ctx->cancel->cancelled() && best.valid()) break;
+    ++evaluated;
     const auto handler = dsl::fill_holes(sketch, assign);
     double d;
     dsl::ExprPtr canon;
@@ -88,7 +96,7 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
   // Same site as the hand count above, so the registry and the per-bucket
   // fields cannot drift (test_obs asserts they agree).
   static auto& c_scored = obs::counter("synth.handlers_scored");
-  c_scored.add(assignments.size());
+  c_scored.add(evaluated);
   return best;
 }
 
@@ -107,6 +115,19 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   util::Stopwatch total_clock;
   SynthesisResult result;
 
+  // All interrupt sources — the deadline watchdog, a caller-supplied token,
+  // and injected faults — funnel into one local token polled at every safe
+  // point below. First cancel wins and carries the reason (kTimeout vs
+  // kCancelled) into result.status.
+  util::CancellationToken tok(opts.cancel);
+  util::DeadlineWatchdog watchdog(&tok, opts.timeout_s);
+  auto interrupted = [&] { return tok.cancelled(); };
+  auto mark_interrupted = [&] {
+    result.partial = true;
+    result.timed_out = tok.reason() == util::StatusCode::kTimeout;
+    result.status = util::Status(tok.reason(), "synthesis interrupted; returning best-so-far");
+  };
+
   // --- Bucketize the space (§4.4). -----------------------------------------
   std::vector<BucketState> states;
   for (auto& b : make_buckets(dsl)) {
@@ -123,7 +144,8 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
                              opts.dopts);
   };
   trace::SegmentSampler sampler(&segments, seg_distance, opts.seed ^ 0x5e95a1d3);
-  sampler.grow_to(static_cast<std::size_t>(opts.initial_segments));
+  // The initial grow_to happens after the resume block below: a restored
+  // sampler already contains its selection and RNG position.
 
   util::ThreadPool pool(opts.threads == 0 ? std::thread::hardware_concurrency() : opts.threads);
   std::mutex best_mu;
@@ -151,20 +173,27 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     st.enumerator = std::make_unique<SketchEnumerator>(dsl, eopts);
   };
 
-  // Score every enumerated sketch of `st` against the current working set;
-  // updates st.best and the global best. Respects the global timeout: when
-  // past the deadline, stops enumerating and scoring but keeps what it has
-  // (the loop always returns the best handler found so far, §4.4).
-  auto past_deadline = [&] { return total_clock.elapsed_seconds() > opts.timeout_s; };
+  // Score every enumerated sketch of `st` against the current segment set;
+  // updates st.best and the global best. Respects the cancellation token:
+  // once fired (deadline, caller, injected fault), stops enumerating and
+  // scoring but keeps what it has (the loop always returns the best handler
+  // found so far, §4.4).
   auto score_bucket = [&](BucketState& st, std::size_t target,
                           const std::vector<trace::Segment>& working) {
     static auto& c_sketches = obs::counter("synth.sketches_enumerated");
     obs::TraceSpan span("score " + st.bucket.label, "synth");
+    // A preempted run that already has a global best skips the remaining
+    // buckets outright — building their enumerators just to honor the
+    // one-sketch-minimum rule below would stretch the deadline by seconds.
+    if (interrupted()) {
+      std::lock_guard lk(best_mu);
+      if (result.best.valid()) return;
+    }
     if (!st.enumerator && !st.exhausted) make_enumerator(st);
     // Always enumerate at least one sketch so an expired budget still
     // returns the best handler seen (§4.4's interrupt semantics).
     while (st.sketches.size() < target && !st.exhausted &&
-           (st.sketches.empty() || !past_deadline())) {
+           (st.sketches.empty() || !interrupted())) {
       auto s = st.enumerator->next();
       if (!s) {
         st.exhausted = true;
@@ -178,6 +207,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     EvalContext ctx;
     ctx.cache = opts.use_eval_cache ? &cache : nullptr;
     ctx.fingerprint = opts.use_eval_cache ? segment_set_fingerprint(working) : 0;
+    ctx.cancel = &tok;
     ScoredHandler bucket_best;
     for (const auto& sk : st.sketches) {
       // Bound by this bucket's own best, not the global one: the per-bucket
@@ -186,7 +216,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       auto scored = score_sketch(sk, working, dsl.constant_pool, opts, st.rng,
                                  &st.handlers_scored, &ctx);
       if (scored.distance < bucket_best.distance) bucket_best = scored;
-      if (past_deadline() && bucket_best.valid()) break;
+      if (interrupted() && bucket_best.valid()) break;
     }
     st.best = bucket_best;
     if (bucket_best.valid()) {
@@ -196,11 +226,136 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     }
   };
 
+  // --- Checkpoint save/restore (ISSUE 3). ----------------------------------
+  auto expr_text = [](const dsl::ExprPtr& e) { return e ? dsl::to_string(*e) : std::string(); };
+  // Serialize the complete loop state so a resumed run is bit-identical to
+  // an uninterrupted one. Called only between iterations, when the pool has
+  // joined, so no lock is needed.
+  auto save_state = [&](int next_iter) {
+    Checkpoint ck;
+    ck.pool_fingerprint = segment_set_fingerprint(segments);
+    ck.seed = opts.seed;
+    ck.next_iter = next_iter;
+    ck.n = n;
+    ck.k = k;
+    ck.best = {result.best.distance, expr_text(result.best.sketch), expr_text(result.best.handler)};
+    ck.sampler_rng = sampler.rng_state();
+    ck.sampler_selected = sampler.selected();
+    ck.live = live;
+    for (const auto& st : states) {
+      BucketCheckpoint b;
+      b.label = st.bucket.label;
+      b.sketches = st.sketches.size();
+      b.handlers_scored = st.handlers_scored;
+      b.exhausted = st.exhausted;
+      b.rng = st.rng.state();
+      b.best_distance = st.best.distance;
+      b.best_sketch = expr_text(st.best.sketch);
+      b.best_handler = expr_text(st.best.handler);
+      ck.buckets.push_back(std::move(b));
+    }
+    for (const auto& c : candidates) {
+      ck.candidates.push_back({c.distance, expr_text(c.sketch), expr_text(c.handler)});
+    }
+    ck.iterations = result.iterations;
+    if (auto st = save_checkpoint(ck, opts.checkpoint_path); !st.is_ok()) {
+      // A failed checkpoint write must not kill the search itself; the
+      // previous checkpoint (if any) is still intact thanks to tmp+rename.
+      ABG_WARN("checkpoint save failed: %s", st.to_string().c_str());
+    }
+  };
+
+  int start_iter = 0;
+  bool resumed = false;
+  if (opts.resume && !opts.checkpoint_path.empty()) {
+    auto loaded = load_checkpoint(opts.checkpoint_path);
+    if (!loaded.ok() && loaded.status().code() == util::StatusCode::kIoError) {
+      // Missing/unreadable file: nothing to resume from, start fresh. This is
+      // the normal first run of a `--checkpoint X --resume` batch job.
+      ABG_INFO("no checkpoint at %s; starting fresh", opts.checkpoint_path.c_str());
+    } else if (!loaded.ok()) {
+      result.status = loaded.status().with_context("resume");
+      return result;
+    } else {
+      const Checkpoint& ck = *loaded;
+      if (ck.pool_fingerprint != segment_set_fingerprint(segments) || ck.seed != opts.seed) {
+        result.status = util::Status(util::StatusCode::kInvalidTrace,
+                                     "checkpoint was written for a different segment pool or seed");
+        return result;
+      }
+      bool consistent = ck.buckets.size() == states.size();
+      for (std::size_t idx : ck.live) consistent = consistent && idx < states.size();
+      auto restore_scored = [&](const ScoredHandlerCheckpoint& c) {
+        ScoredHandler sh;
+        sh.distance = c.distance;
+        if (!c.sketch.empty()) {
+          auto p = dsl::parse(c.sketch);
+          if (p) sh.sketch = p.expr; else consistent = false;
+        }
+        if (!c.handler.empty()) {
+          auto p = dsl::parse(c.handler);
+          if (p) sh.handler = p.expr; else consistent = false;
+        }
+        return sh;
+      };
+      for (const auto& bc : ck.buckets) {
+        auto it = std::find_if(states.begin(), states.end(), [&](const BucketState& s) {
+          return s.bucket.label == bc.label;
+        });
+        if (it == states.end()) {
+          consistent = false;
+          break;
+        }
+        BucketState& st = *it;
+        st.handlers_scored = bc.handlers_scored;
+        st.exhausted = bc.exhausted;
+        st.rng.set_state(bc.rng);
+        st.best = restore_scored({bc.best_distance, bc.best_sketch, bc.best_handler});
+        // Sketches are re-derived, not deserialized: the SMT enumerator is
+        // deterministic, so pulling the recorded count reproduces the list.
+        if (bc.sketches > 0) {
+          make_enumerator(st);
+          while (st.sketches.size() < bc.sketches) {
+            auto s = st.enumerator->next();
+            if (!s) {
+              consistent = false;
+              break;
+            }
+            st.sketches.push_back(std::move(*s));
+          }
+        }
+      }
+      result.best = restore_scored(ck.best);
+      for (const auto& c : ck.candidates) candidates.push_back(restore_scored(c));
+      if (!consistent) {
+        result.status = util::Status(util::StatusCode::kParseError,
+                                     "corrupted checkpoint " + opts.checkpoint_path);
+        return result;
+      }
+      start_iter = ck.next_iter;
+      n = ck.n;
+      k = ck.k;
+      live = ck.live;
+      result.iterations = ck.iterations;
+      sampler.restore(ck.sampler_selected, ck.sampler_rng);
+      resumed = true;
+      ABG_INFO("resumed from %s at iteration %d (%zu live buckets)",
+               opts.checkpoint_path.c_str(), start_iter, live.size());
+    }
+  }
+  if (!resumed) sampler.grow_to(static_cast<std::size_t>(opts.initial_segments));
+
   static auto& c_iters = obs::counter("synth.iterations");
   static auto& h_iter = obs::histogram("synth.iter_us");
 
-  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+  for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
     if (live.empty()) break;
+    // Injected-fault hook: ABG_FAULT_INJECT="cancel_after=N" fires here.
+    if (util::fault::cancel_at(iter)) tok.cancel(util::StatusCode::kCancelled);
+    if (iter > start_iter && interrupted()) {
+      mark_interrupted();
+      break;
+    }
     util::Stopwatch iter_clock;
     c_iters.add();
     obs::Timer iter_timer(h_iter);
@@ -271,8 +426,8 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
              result.best.distance,
              result.best.valid() ? dsl::to_string(*result.best.handler).c_str() : "-");
 
-    if (total_clock.elapsed_seconds() > opts.timeout_s) {
-      result.timed_out = true;
+    if (interrupted()) {
+      mark_interrupted();
       break;
     }
 
@@ -293,12 +448,17 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     n *= opts.sample_growth;                         // line 9
     k = std::max(k / 2, 1);                          // line 10
     sampler.grow_to(sampler.selected().size() + 2);  // "+2 traces" (§4.4)
+
+    // State now describes the start of iteration iter+1 exactly.
+    if (!opts.checkpoint_path.empty()) save_state(iter + 1);
   }
 
   // --- Final validation: re-rank every candidate on a larger diverse
   // segment sample, so a handler over-fit to the small working set cannot
   // win (§3.2).
-  if (!candidates.empty() && !segments.empty()) {
+  // Skipped on interruption: a preempted run must return promptly, and its
+  // partial/status flags tell the caller `best` skipped this re-ranking.
+  if (!result.partial && !candidates.empty() && !segments.empty()) {
     obs::TraceSpan val_span("synth.validation", "synth");
     static auto& c_validated = obs::counter("synth.candidates_validated");
     sampler.grow_to(opts.final_validation_segments);

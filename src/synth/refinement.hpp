@@ -24,7 +24,9 @@
 #include "synth/enumerator.hpp"
 #include "synth/eval_cache.hpp"
 #include "trace/trace.hpp"
+#include "util/cancellation.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace abg::synth {
 
@@ -53,6 +55,18 @@ struct SynthesisOptions {
 
   std::size_t threads = 0;  // 0 = hardware concurrency
   std::uint64_t seed = 7;
+
+  // --- Fault tolerance (ISSUE 3).
+  // Optional caller-supplied cancellation. synthesize() links its own token
+  // to this one, so an embedding application (or a signal handler) can
+  // preempt a run; the loop unwinds with best-so-far and partial=true.
+  const util::CancellationToken* cancel = nullptr;
+  // When non-empty, the full search state is serialized here after every
+  // completed iteration (atomic tmp+rename). With resume=true the loop first
+  // restores that state and continues from the next iteration, producing
+  // bit-identical results to an uninterrupted run.
+  std::string checkpoint_path;
+  bool resume = false;
 
   // --- Evaluation fast path (ISSUE 2). Both knobs change only how much
   // work is done, never the result: the selected handlers and reported
@@ -99,6 +113,12 @@ struct SynthesisResult {
   std::size_t total_sketches = 0;
   std::size_t total_handlers_scored = 0;
   bool timed_out = false;
+  // True when the run was preempted (deadline, external cancel, or injected
+  // fault) and `best` is the best-so-far rather than a completed search.
+  bool partial = false;
+  // kOk for a completed run; the interrupt class (kTimeout/kCancelled) for a
+  // partial one; a hard error (e.g. a corrupted checkpoint) otherwise.
+  util::Status status;
   double seconds = 0.0;
 
   // Rank (1-based) of the bucket with the given label after iteration
@@ -121,6 +141,9 @@ struct EvalContext {
   // global best: bucket scores feed the top-k ranking, so each bucket's own
   // minimum must stay exact).
   double abandon_above = std::numeric_limits<double>::infinity();
+  // Polled once per concretized handler; when set and fired, score_sketch
+  // stops early but still returns the best handler it has already scored.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 // Score one sketch against a working set of segments: concretize (§4.2),

@@ -6,6 +6,7 @@
 
 #include "dsl/eval.hpp"
 #include "obs/registry.hpp"
+#include "util/fault_injection.hpp"
 
 namespace abg::synth {
 
@@ -17,13 +18,22 @@ std::vector<double> replay(const dsl::Expr& handler, const trace::Segment& segme
 
   double cwnd = segment.samples.front().sig.cwnd;  // start from the observed window
   const double mss = segment.samples.front().sig.mss > 0 ? segment.samples.front().sig.mss : 1.0;
+  // A corrupted (non-finite) starting window would poison every step of the
+  // rollout through the clamp below; fall back to one packet.
+  if (!std::isfinite(cwnd)) cwnd = mss;
   for (const auto& sample : segment.samples) {
     if (!sample.is_dup && sample.sig.acked_bytes > 0) {
       cca::Signals sig = sample.sig;  // observed inputs...
       sig.cwnd = cwnd;                // ...but the candidate's own state
-      const double next = dsl::eval(handler, sig);
+      double next = dsl::eval(handler, sig);
+      util::fault::corrupt(&next, "replay.handler_output");
       if (std::isfinite(next)) {
         cwnd = std::clamp(next, opts.min_cwnd_pkts * mss, opts.max_cwnd_pkts * mss);
+      } else {
+        // Hold the previous window — a candidate that divides by zero or
+        // overflows must degrade, not propagate NaN into the distance layer.
+        static auto& c_nonfinite = obs::counter("synth.nonfinite_cwnd");
+        c_nonfinite.add();
       }
     }
     out.push_back(cwnd / mss);

@@ -35,6 +35,14 @@ class SegmentSampler {
 
   const std::vector<std::size_t>& selected() const { return selected_; }
 
+  // Checkpoint/resume support: restoring (selected, rng state) reproduces
+  // the exact picks future grow_to calls would have made.
+  util::Rng::State rng_state() const { return rng_.state(); }
+  void restore(std::vector<std::size_t> selected, const util::Rng::State& rng) {
+    selected_ = std::move(selected);
+    rng_.set_state(rng);
+  }
+
  private:
   bool is_selected(std::size_t idx) const;
   std::vector<std::size_t> unselected() const;

@@ -1,17 +1,35 @@
 #include "trace/trace_io.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "obs/registry.hpp"
 #include "util/csv.hpp"
+#include "util/fault_injection.hpp"
 
 namespace abg::trace {
 
 namespace {
+
+using util::Result;
+using util::Status;
+using util::StatusCode;
+
 constexpr const char* kColumns =
     "now,mss,cwnd,inflight,acked_bytes,rtt,srtt,min_rtt,max_rtt,ack_rate,rtt_gradient,"
     "time_since_loss,cwnd_after,ack_seq,is_dup,loss_event";
+constexpr std::size_t kNumColumns = 16;
+
+Status parse_error(const char* what, const std::string& field) {
+  return Status(StatusCode::kParseError, std::string(what) + " '" + field + "'");
 }
+
+Status row_error(std::size_t row, const char* what, const std::string& field) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "row %zu: ", row);
+  return Status(StatusCode::kParseError, buf + std::string(what) + " '" + field + "'");
+}
+
+}  // namespace
 
 std::string to_csv(const Trace& trace) {
   util::CsvWriter w;
@@ -35,69 +53,123 @@ std::string to_csv(const Trace& trace) {
   return w.str();
 }
 
-std::optional<Trace> from_csv(const std::string& csv) {
+util::Result<Trace> from_csv(const std::string& csv, const LoadOptions& opts) {
   const auto rows = util::parse_csv(csv);
   if (rows.size() < 2 || rows[0].empty() || rows[0][0].empty() || rows[0][0][0] != '#') {
-    return std::nullopt;
+    return Status(StatusCode::kParseError, "missing '#cca=...' metadata header");
   }
   Trace t;
   {
-    // Parse "#cca=NAME bw=... rtt=... buf=... loss=... seed=... dur=..."
+    // Parse "#cca=NAME bw=... rtt=... buf=... loss=... seed=... dur=... xt=...".
+    // Every field written by to_csv must be present and parse cleanly — a
+    // corrupted header used to fabricate bw=0 via atof; now it is rejected.
     const std::string& meta = rows[0][0];
-    auto field = [&meta](const std::string& key) -> std::string {
+    auto field = [&meta](const std::string& key) -> std::optional<std::string> {
       const auto pos = meta.find(key + "=");
-      if (pos == std::string::npos) return {};
+      if (pos == std::string::npos) return std::nullopt;
       const auto start = pos + key.size() + 1;
       const auto end = meta.find(' ', start);
       return meta.substr(start, end == std::string::npos ? std::string::npos : end - start);
     };
-    t.cca_name = field("cca");
-    t.env.bandwidth_bps = std::atof(field("bw").c_str());
-    t.env.rtt_s = std::atof(field("rtt").c_str());
-    t.env.buffer_bytes = std::atof(field("buf").c_str());
-    t.env.random_loss = std::atof(field("loss").c_str());
-    t.env.seed = std::strtoull(field("seed").c_str(), nullptr, 10);
-    t.env.duration_s = std::atof(field("dur").c_str());
-    t.env.cross_traffic_bps = std::atof(field("xt").c_str());  // "" -> 0
+    auto num = [&field](const std::string& key, double* out) -> Status {
+      const auto f = field(key);
+      if (!f) return Status(StatusCode::kParseError, "metadata missing field '" + key + "'");
+      if (!util::parse_double(*f, out)) {
+        return parse_error(("metadata " + key + ": bad number").c_str(), *f);
+      }
+      return Status::ok();
+    };
+    const auto cca = field("cca");
+    if (!cca || cca->empty()) {
+      return Status(StatusCode::kParseError, "metadata missing field 'cca'");
+    }
+    t.cca_name = *cca;
+    for (const auto& [key, dst] : std::initializer_list<std::pair<const char*, double*>>{
+             {"bw", &t.env.bandwidth_bps},
+             {"rtt", &t.env.rtt_s},
+             {"buf", &t.env.buffer_bytes},
+             {"loss", &t.env.random_loss},
+             {"dur", &t.env.duration_s},
+             {"xt", &t.env.cross_traffic_bps}}) {
+      if (auto st = num(key, dst); !st.is_ok()) return st;
+    }
+    const auto seed = field("seed");
+    if (!seed || !util::parse_u64(*seed, &t.env.seed)) {
+      return parse_error("metadata seed: bad integer", seed ? *seed : "");
+    }
   }
+  // The column-name row is written as one quoted field; it must match the
+  // current schema exactly.
+  if (rows[1].size() != 1 || rows[1][0] != kColumns) {
+    return Status(StatusCode::kParseError, "column header mismatch (corrupted file?)");
+  }
+  ValidateStats stats;
+  static auto& c_dropped = obs::counter("trace.rows_dropped");
   for (std::size_t i = 2; i < rows.size(); ++i) {
     const auto& r = rows[i];
-    if (r.size() < 16) continue;
+    if (r.size() != kNumColumns) {
+      if (opts.repair) {
+        ++stats.rows_dropped;
+        c_dropped.add();
+        continue;
+      }
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "row %zu: %zu fields (want %zu) — truncated?", i, r.size(),
+                    kNumColumns);
+      return Status(StatusCode::kParseError, buf);
+    }
     AckSample s;
-    s.sig.now = std::atof(r[0].c_str());
-    s.sig.mss = std::atof(r[1].c_str());
-    s.sig.cwnd = std::atof(r[2].c_str());
-    s.sig.inflight = std::atof(r[3].c_str());
-    s.sig.acked_bytes = std::atof(r[4].c_str());
-    s.sig.rtt = std::atof(r[5].c_str());
-    s.sig.srtt = std::atof(r[6].c_str());
-    s.sig.min_rtt = std::atof(r[7].c_str());
-    s.sig.max_rtt = std::atof(r[8].c_str());
-    s.sig.ack_rate = std::atof(r[9].c_str());
-    s.sig.rtt_gradient = std::atof(r[10].c_str());
-    s.sig.time_since_loss = std::atof(r[11].c_str());
-    s.cwnd_after = std::atof(r[12].c_str());
-    s.ack_seq = std::atof(r[13].c_str());
-    s.is_dup = std::atof(r[14].c_str()) != 0.0;
-    s.loss_event = std::atof(r[15].c_str()) != 0.0;
+    double flags[2] = {0.0, 0.0};
+    double* const dests[kNumColumns] = {
+        &s.sig.now,      &s.sig.mss,          &s.sig.cwnd,    &s.sig.inflight,
+        &s.sig.acked_bytes, &s.sig.rtt,       &s.sig.srtt,    &s.sig.min_rtt,
+        &s.sig.max_rtt,  &s.sig.ack_rate,     &s.sig.rtt_gradient, &s.sig.time_since_loss,
+        &s.cwnd_after,   &s.ack_seq,          &flags[0],      &flags[1]};
+    bool bad = false;
+    for (std::size_t c = 0; c < kNumColumns; ++c) {
+      if (!util::parse_double(r[c], dests[c])) {
+        if (!opts.repair) return row_error(i, "bad numeric field", r[c]);
+        bad = true;
+        break;
+      }
+    }
+    if (bad) {
+      ++stats.rows_dropped;
+      c_dropped.add();
+      continue;
+    }
+    s.is_dup = flags[0] != 0.0;
+    s.loss_event = flags[1] != 0.0;
     t.samples.push_back(s);
   }
+  ValidateOptions vopts;
+  vopts.repair = opts.repair;
+  if (auto st = validate_trace(t, vopts, &stats); !st.is_ok()) return st;
   return t;
 }
 
-bool save_csv(const Trace& trace, const std::string& path) {
+util::Status save_csv(const Trace& trace, const std::string& path) {
+  if (util::fault::io_fail("trace_io.save_csv")) {
+    return Status(StatusCode::kIoError, "injected I/O fault writing " + path);
+  }
   const std::string body = to_csv(trace);
   FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) return false;
+  if (f == nullptr) return Status(StatusCode::kIoError, "cannot open " + path + " for writing");
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  std::fclose(f);
-  return ok;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) return Status(StatusCode::kIoError, "short write to " + path);
+  return Status::ok();
 }
 
-std::optional<Trace> load_csv(const std::string& path) {
-  const std::string content = util::read_file(path);
-  if (content.empty()) return std::nullopt;
-  return from_csv(content);
+util::Result<Trace> load_csv(const std::string& path, const LoadOptions& opts) {
+  if (util::fault::io_fail("trace_io.load_csv")) {
+    return Status(StatusCode::kIoError, "injected I/O fault reading " + path);
+  }
+  std::string content;
+  if (!util::read_file(path, &content)) {
+    return Status(StatusCode::kIoError, "cannot read " + path);
+  }
+  return from_csv(content, opts).with_context(path);
 }
 
 }  // namespace abg::trace

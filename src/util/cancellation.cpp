@@ -1,0 +1,31 @@
+#include "util/cancellation.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace abg::util {
+
+DeadlineWatchdog::DeadlineWatchdog(CancellationToken* token, double deadline_s) {
+  if (token == nullptr || !std::isfinite(deadline_s)) return;
+  if (deadline_s < 0.0) deadline_s = 0.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(deadline_s));
+  thread_ = std::thread([this, token, deadline] {
+    std::unique_lock lk(mu_);
+    if (cv_.wait_until(lk, deadline, [this] { return stop_; })) return;
+    token->cancel(StatusCode::kTimeout);
+  });
+}
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace abg::util

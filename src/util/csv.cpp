@@ -1,7 +1,10 @@
 #include "util/csv.hpp"
 
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -97,12 +100,41 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& content, char
   return rows;
 }
 
+bool parse_double(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) return false;  // trailing garbage / empty
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& field, std::uint64_t* out) {
+  if (field.empty() || field[0] == '-' || field[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
 std::string read_file(const std::string& path) {
+  std::string out;
+  return read_file(path, &out) ? out : std::string{};
+}
+
+bool read_file(const std::string& path, std::string* out) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) return {};
+  if (!f) return false;
   std::ostringstream ss;
   ss << f.rdbuf();
-  return ss.str();
+  if (f.bad()) return false;
+  *out = ss.str();
+  return true;
 }
 
 }  // namespace abg::util

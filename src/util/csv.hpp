@@ -1,6 +1,7 @@
 // Tiny CSV reader/writer used for trace persistence and benchmark output.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,19 @@ class CsvWriter {
 // (traces never need them).
 std::vector<std::vector<std::string>> parse_csv(const std::string& content, char sep = ',');
 
+// Checked numeric parsing: the whole field must be consumed (no trailing
+// garbage) and must be non-empty. Unlike std::atof, "banana" and "" are
+// rejected instead of silently producing 0. "nan"/"inf" parse successfully —
+// rejecting non-finite values is a *validation* decision (trace/validate),
+// not a lexical one.
+bool parse_double(const std::string& field, double* out);
+bool parse_u64(const std::string& field, std::uint64_t* out);
+
 // Reads an entire file; returns empty string on failure.
 std::string read_file(const std::string& path);
+
+// Checked variant: distinguishes an unreadable file (false) from an empty
+// one (true with *out empty).
+bool read_file(const std::string& path, std::string* out);
 
 }  // namespace abg::util

@@ -1,0 +1,55 @@
+// Result<T>: a value or a non-ok Status. The pipeline's replacement for
+// std::optional returns on fallible paths — the failure carries a diagnostic
+// instead of silently collapsing to nullopt.
+//
+//   util::Result<Trace> r = trace::load_csv(path);
+//   if (!r.ok()) return r.status().with_context(path);
+//   use(*r);
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace abg::util {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value (success) or a Status (failure). Constructing from
+  // an ok Status is a caller bug; it is coerced to kUnknown so a Result
+  // without a value never claims to be ok.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.is_ok()) status_ = Status(StatusCode::kUnknown, "error Result with ok Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  // Ok Results report an ok Status.
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  // Prefix the error message (no-op on ok Results).
+  Result with_context(std::string_view context) && {
+    if (!ok()) status_ = status_.with_context(context);
+    return std::move(*this);
+  }
+
+ private:
+  Status status_;  // ok iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace abg::util

@@ -93,4 +93,18 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_cached_normal = have_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  have_cached_normal_ = st.have_cached_normal;
+  cached_normal_ = st.cached_normal;
+}
+
 }  // namespace abg::util

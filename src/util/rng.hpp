@@ -49,6 +49,16 @@ class Rng {
   // of thread scheduling).
   Rng fork();
 
+  // Full generator state, for checkpoint/resume: restoring a saved state
+  // reproduces the exact draw sequence the original stream would have made.
+  struct State {
+    std::uint64_t s[4] = {};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   bool have_cached_normal_ = false;

@@ -219,7 +219,7 @@ TEST(CrossTraffic, RoundTripsThroughCsv) {
   s.sig.now = 1.0;
   t.samples.push_back(s);
   auto parsed = trace::from_csv(trace::to_csv(t));
-  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed.ok());
   EXPECT_DOUBLE_EQ(parsed->env.cross_traffic_bps, 3e6);
 }
 

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "obs/registry.hpp"
 #include "trace/noise.hpp"
 #include "trace/sampler.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/validate.hpp"
+#include "util/status.hpp"
 
 namespace abg::trace {
 namespace {
@@ -152,7 +156,7 @@ TEST(TraceIo, CsvRoundTrip) {
   t.cca_name = "reno";
   t.env.seed = 77;
   auto parsed = from_csv(to_csv(t));
-  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->cca_name, "reno");
   EXPECT_EQ(parsed->env.seed, 77u);
   ASSERT_EQ(parsed->samples.size(), t.samples.size());
@@ -162,17 +166,116 @@ TEST(TraceIo, CsvRoundTrip) {
 }
 
 TEST(TraceIo, RejectsGarbage) {
-  EXPECT_FALSE(from_csv("not,a,trace\n1,2,3\n").has_value());
-  EXPECT_FALSE(from_csv("").has_value());
+  auto r = from_csv("not,a,trace\n1,2,3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kParseError);
+  EXPECT_FALSE(from_csv("").ok());
 }
 
 TEST(TraceIo, FileRoundTrip) {
   auto t = make_trace(10);
   const std::string path = testing::TempDir() + "/abg_trace_test.csv";
-  ASSERT_TRUE(save_csv(t, path));
+  ASSERT_TRUE(save_csv(t, path).is_ok());
   auto loaded = load_csv(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->samples.size(), 10u);
+}
+
+TEST(TraceIo, MissingFileIsIoError) {
+  auto r = load_csv(testing::TempDir() + "/does_not_exist_abg.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+  // The context chain names the offending file.
+  EXPECT_NE(r.status().message().find("does_not_exist_abg"), std::string::npos);
+}
+
+TEST(TraceIo, CorruptedMetadataIsParseError) {
+  auto csv = to_csv(make_trace(5));
+  const auto pos = csv.find("bw=");
+  ASSERT_NE(pos, std::string::npos);
+  csv.replace(pos, 4, "bw=?");  // "bw=1..." -> "bw=?..." : unparseable number
+  auto r = from_csv(csv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(TraceIo, TruncatedRowRejectedStrictlyDroppedInRepair) {
+  auto csv = to_csv(make_trace(6));
+  // Chop the file mid-way through the final data row.
+  csv.resize(csv.rfind('\n', csv.size() - 2) + 5);
+  csv += "\n";
+  auto strict = from_csv(csv);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kParseError);
+
+  const auto dropped_before = obs::counter("trace.rows_dropped").value();
+  LoadOptions repair;
+  repair.repair = true;
+  auto repaired = from_csv(csv, repair);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->samples.size(), 5u);
+  EXPECT_EQ(obs::counter("trace.rows_dropped").value(), dropped_before + 1);
+}
+
+TEST(TraceIo, NonFiniteFieldIsNumericError) {
+  auto t = make_trace(5);
+  t.samples[2].sig.rtt = std::numeric_limits<double>::quiet_NaN();
+  auto r = from_csv(to_csv(t));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNumericError);
+}
+
+TEST(TraceIo, NegativeCwndIsInvalidTrace) {
+  auto t = make_trace(5);
+  t.samples[3].sig.cwnd = -1448.0;
+  auto r = from_csv(to_csv(t));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidTrace);
+}
+
+TEST(TraceIo, NonMonotonicTimeRejectedStrictlyDroppedInRepair) {
+  auto t = make_trace(6);
+  t.samples[4].sig.now = t.samples[1].sig.now;  // clock went backwards
+  auto strict = from_csv(to_csv(t));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kInvalidTrace);
+
+  LoadOptions repair;
+  repair.repair = true;
+  auto repaired = from_csv(to_csv(t), repair);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->samples.size(), 5u);
+}
+
+TEST(TraceIo, RepairClampsNegativeClampableFields) {
+  auto t = make_trace(5);
+  t.samples[1].sig.acked_bytes = -100.0;  // clampable, not fatal
+  const auto repaired_before = obs::counter("trace.rows_repaired").value();
+  LoadOptions repair;
+  repair.repair = true;
+  auto r = from_csv(to_csv(t), repair);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(r->samples[1].sig.acked_bytes, 0.0);
+  EXPECT_EQ(obs::counter("trace.rows_repaired").value(), repaired_before + 1);
+}
+
+TEST(TraceIo, EmptyAfterRepairIsInvalidTrace) {
+  auto t = make_trace(1);
+  t.samples[0].sig.cwnd = -1.0;  // the only row is unrepairable
+  LoadOptions repair;
+  repair.repair = true;
+  auto r = from_csv(to_csv(t), repair);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidTrace);
+}
+
+TEST(Validate, RejectsBadEnvironment) {
+  auto t = make_trace(5);
+  t.env.random_loss = 1.5;  // probabilities live in [0, 1]
+  auto st = validate_trace(t);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidTrace);
 }
 
 double mean_cwnd(const Segment& s) {
