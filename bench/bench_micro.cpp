@@ -16,6 +16,7 @@
 #include "synth/eval_cache.hpp"
 #include "synth/replay.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -188,6 +189,25 @@ void BM_EnumerateOneBucket(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EnumerateOneBucket)->Unit(benchmark::kMillisecond);
+
+// Dispatch overhead of the templated ThreadPool::parallel_for. The body is a
+// single multiply, so the timing is dominated by task fan-out/join; the
+// regression guarded here is the old `const std::function&` signature, which
+// added a type-erased indirect call (and a heap-allocated wrapper) on every
+// index of every parallel loop in the refinement hot path.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(4);
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    pool.parallel_for(n, [&out](std::size_t i) { out[i] = i * 2654435761ull; });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForDispatch)->Range(1, 4096);
 
 }  // namespace
 

@@ -8,6 +8,14 @@
 //   abagnale_cli classify <trace.csv>...
 //   abagnale_cli synthesize [--dsl <name>] [--timeout <s>] <trace.csv>...
 //   abagnale_cli match <cca> <trace.csv>...   (score a known CCA's handler)
+//   abagnale_cli --batch <manifest.json>      (batch sweep via api::Engine)
+//
+// Batch mode runs every job in the manifest through one api::Engine — one
+// shared scoring pool and one shared eval cache — prints a per-job section
+// with the job's status/exit class/cache traffic, and exits with the first
+// failing job's exit class (0 when every job succeeded). With "report" set
+// in the manifest, a consolidated JSON run report (per-job results plus the
+// full metrics registry) is written there.
 //
 // Observability (synthesize/classify/match — may appear anywhere on the line):
 //   --metrics-out <m.json>   write a JSON run report of every obs counter/
@@ -21,10 +29,18 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "api/engine.hpp"
+#include "api/manifest.hpp"
 #include "classify/classifier.hpp"
 #include "core/abagnale.hpp"
 #include "dsl/known_handlers.hpp"
 #include "net/simulator.hpp"
+#include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_events.hpp"
 #include "synth/replay.hpp"
@@ -32,6 +48,7 @@
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/status.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -46,12 +63,13 @@ int usage() {
                "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] [--no-fast-path]\n"
                "                [--checkpoint <state>] [--resume] <trace.csv>...\n"
                "  abagnale_cli match <cca> <trace.csv>...\n"
+               "  abagnale_cli --batch <manifest.json>   (multi-job sweep, api::Engine)\n"
                "options (any subcommand, anywhere on the line):\n"
                "  --repair-traces         drop/clamp malformed trace rows instead of failing\n"
                "  --metrics-out <m.json>  JSON run report: counters/gauges/histograms\n"
                "  --trace-out <t.json>    Chrome trace-event spans (chrome://tracing, Perfetto)\n"
                "exit codes: 0 ok, 1 unknown, 2 usage, 3 parse, 4 invalid-trace, 5 timeout,\n"
-               "            6 cancelled, 7 io, 8 numeric\n");
+               "            6 cancelled, 7 io, 8 numeric, 9 invalid-argument\n");
   return 2;
 }
 
@@ -223,6 +241,162 @@ int cmd_match(int argc, char** argv) {
   return 0;
 }
 
+// --- batch mode (api::Engine over a JSON manifest) ---------------------------
+
+void print_job_section(const api::JobResult& r, std::size_t index, std::size_t total) {
+  std::printf("\n=== job %s (%zu/%zu) ===\n", r.name.c_str(), index + 1, total);
+  std::printf("status: %s (exit class %d)\n",
+              r.ok() ? "ok" : r.status.to_string().c_str(), r.exit_class());
+  if (r.kind == api::JobSpec::Kind::kMister880) {
+    if (r.found()) {
+      std::printf("handler: %s\n", dsl::to_string(*r.mister880.handler).c_str());
+    } else {
+      std::printf("no exact-match handler\n");
+    }
+    std::printf("sketches: %zu, handlers tried: %zu, segments: %zu\n",
+                r.mister880.sketches_tried, r.mister880.handlers_tried, r.segments_total);
+  } else if (r.found()) {
+    std::printf("DSL: %s\nhandler: %s\ndistance: %.3f over %zu segments\n",
+                r.pipeline.dsl_name.c_str(), r.pipeline.handler_string().c_str(),
+                r.pipeline.distance(), r.segments_total);
+  } else {
+    std::printf("no handler found\n");
+  }
+  std::printf("cache: %llu hits / %llu misses; %.2fs\n",
+              static_cast<unsigned long long>(r.cache_hits),
+              static_cast<unsigned long long>(r.cache_misses), r.seconds);
+}
+
+// Consolidated run report: per-job results plus one snapshot of the global
+// metrics registry (per-job metrics sections live in "jobs"; the registry is
+// process-wide by design).
+bool write_batch_report(const std::string& path, const api::Engine& engine,
+                        const std::vector<const api::JobResult*>& results,
+                        double total_seconds) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("engine");
+  w.begin_object();
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(engine.options().threads));
+  w.key("max_concurrent_jobs");
+  w.value(static_cast<std::uint64_t>(engine.options().max_concurrent_jobs));
+  w.key("share_eval_cache");
+  w.value(engine.options().share_eval_cache);
+  w.end_object();
+  w.key("total_seconds");
+  w.value(total_seconds);
+  std::uint64_t ok = 0;
+  for (const auto* r : results) ok += r->ok() ? 1 : 0;
+  w.key("jobs_ok");
+  w.value(ok);
+  w.key("jobs_failed");
+  w.value(static_cast<std::uint64_t>(results.size()) - ok);
+  w.key("jobs");
+  w.begin_array();
+  for (const auto* r : results) {
+    w.begin_object();
+    w.key("name");
+    w.value(r->name);
+    w.key("kind");
+    w.value(r->kind == api::JobSpec::Kind::kMister880 ? "mister880" : "pipeline");
+    w.key("status");
+    w.value(r->status.to_string());
+    w.key("exit_class");
+    w.value(static_cast<std::int64_t>(r->exit_class()));
+    w.key("found");
+    w.value(r->found());
+    if (r->kind == api::JobSpec::Kind::kPipeline && r->found()) {
+      w.key("dsl");
+      w.value(r->pipeline.dsl_name);
+      w.key("handler");
+      w.value(r->pipeline.handler_string());
+      w.key("distance");
+      w.value(r->pipeline.distance());
+    }
+    w.key("segments_total");
+    w.value(static_cast<std::uint64_t>(r->segments_total));
+    w.key("cache_hits");
+    w.value(r->cache_hits);
+    w.key("cache_misses");
+    w.value(r->cache_misses);
+    w.key("seconds");
+    w.value(r->seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  w.raw(obs::metrics_json());
+  w.end_object();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << w.str() << '\n';
+  return out.good();
+}
+
+int cmd_batch(const char* manifest_path) {
+  auto manifest = api::load_manifest(manifest_path);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "bad manifest: %s\n", manifest.status().to_string().c_str());
+    return util::exit_code(manifest.status().code());
+  }
+  const std::size_t total = manifest->jobs.size();
+
+  // Stable names up front (submit would auto-name later, but the progress
+  // stream needs labels before the first iteration lands) and a shared
+  // stdout lock so concurrent jobs' progress lines interleave whole.
+  auto io_mu = std::make_shared<std::mutex>();
+  for (std::size_t i = 0; i < total; ++i) {
+    auto& spec = manifest->jobs[i];
+    if (spec.name.empty()) spec.name = "job-" + std::to_string(i + 1);
+    if (!spec.load.repair) spec.load.repair = g_load_opts.repair;
+    spec.with_iteration_callback(
+        [io_mu, name = spec.name](const synth::IterationReport& it) {
+          std::lock_guard lk(*io_mu);
+          const double best =
+              it.buckets.empty() ? std::numeric_limits<double>::infinity() : it.buckets.front().score;
+          std::printf("[%s] iteration: N=%d, %zu segments, best=%.3f (%.2fs)\n", name.c_str(),
+                      it.n_target, it.segments_used, best, it.seconds);
+        });
+  }
+
+  util::Stopwatch clock;
+  api::Engine engine(manifest->engine);
+  std::printf("batch: %zu jobs on %zu threads (%zu concurrent, cache %s)\n", total,
+              engine.options().threads, engine.options().max_concurrent_jobs,
+              engine.options().share_eval_cache ? "shared" : "per-job");
+  auto handles = engine.submit_all(std::move(manifest->jobs));
+  if (!handles.ok()) {
+    std::fprintf(stderr, "batch rejected: %s\n", handles.status().to_string().c_str());
+    return util::exit_code(handles.status().code());
+  }
+
+  int rc = 0;
+  std::vector<const api::JobResult*> results;
+  results.reserve(total);
+  for (std::size_t i = 0; i < handles->size(); ++i) {
+    const api::JobResult& r = (*handles)[i].wait();
+    {
+      std::lock_guard lk(*io_mu);
+      print_job_section(r, i, total);
+    }
+    results.push_back(&r);
+    if (rc == 0 && !r.ok()) rc = r.exit_class();
+  }
+  const double total_seconds = clock.elapsed_seconds();
+  std::printf("\nbatch done: %zu jobs in %.2fs (exit %d)\n", total, total_seconds, rc);
+
+  if (!manifest->report_path.empty()) {
+    if (write_batch_report(manifest->report_path, engine, results, total_seconds)) {
+      std::printf("batch report: %s\n", manifest->report_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write batch report %s\n", manifest->report_path.c_str());
+      if (rc == 0) rc = util::exit_code(util::StatusCode::kIoError);
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,7 +424,10 @@ int main(int argc, char** argv) {
 
   const std::string cmd = args[1];
   int rc = 2;
-  if (cmd == "list") rc = cmd_list();
+  if (cmd == "--batch") {
+    if (nargs < 3) return usage();
+    rc = cmd_batch(args[2]);
+  } else if (cmd == "list") rc = cmd_list();
   else if (cmd == "collect") rc = cmd_collect(nargs, args.data());
   else if (cmd == "classify") rc = cmd_classify(nargs, args.data());
   else if (cmd == "synthesize") rc = cmd_synthesize(nargs, args.data());

@@ -25,6 +25,7 @@ decode_exit_class() {
     6) echo "cancelled" ;;
     7) echo "io-error" ;;
     8) echo "numeric-error" ;;
+    9) echo "invalid-argument" ;;
     *) echo "exit-$1" ;;
   esac
 }
@@ -73,6 +74,47 @@ cli_smoke() {
   return 0
 }
 run_stage "cli-smoke" cli_smoke
+
+# Sweep stage, batch mode: the multi-CCA sweep runs as ONE process through
+# `abagnale_cli --batch` (shared scoring pool, shared eval cache, per-job
+# exit classes) instead of a shell loop of sequential synthesize calls. The
+# consolidated report lands in batch_report.json.
+batch_sweep() {
+  local tmp
+  tmp="$(mktemp -d)"
+  ./build/examples/abagnale_cli collect reno "$tmp/reno.csv" 10 40 8 || return $?
+  ./build/examples/abagnale_cli collect cubic "$tmp/cubic.csv" 10 40 8 || return $?
+  cat > "$tmp/sweep.json" <<EOF
+{
+  "threads": 4,
+  "max_concurrent_jobs": 2,
+  "report": "/root/repo/batch_report.json",
+  "jobs": [
+    {"name": "reno", "traces": ["$tmp/reno.csv"], "dsl": "reno",
+     "timeout_s": 90, "max_iterations": 2, "initial_samples": 4},
+    {"name": "cubic", "traces": ["$tmp/cubic.csv"], "dsl": "cubic",
+     "timeout_s": 90, "max_iterations": 2, "initial_samples": 4}
+  ]
+}
+EOF
+  ./build/examples/abagnale_cli --batch "$tmp/sweep.json" 2>&1 | tee /root/repo/batch_output.txt
+  local rc=$?
+  # A manifest with an unknown key must be rejected with invalid-argument (9)
+  # before any job runs.
+  echo '{"jobs": [{"traces": ["x.csv"], "timout_s": 5}]}' > "$tmp/typo.json"
+  ./build/examples/abagnale_cli --batch "$tmp/typo.json"
+  local typo_rc=$?
+  rm -rf "$tmp"
+  if [ "$typo_rc" -ne 9 ]; then
+    echo "expected invalid-argument exit (9) for a typoed manifest, got $typo_rc" >&2
+    return 1
+  fi
+  # Accept timeout (5) for the real sweep: budgets are tight on slow runners,
+  # and a best-so-far partial is a valid recorded outcome there.
+  if [ "$rc" -ne 0 ] && [ "$rc" -ne 5 ]; then return "$rc"; fi
+  return 0
+}
+run_stage "batch-sweep" batch_sweep
 
 asan_pass() {
   cmake -B build-asan -S . -DABG_SANITIZE=address || return $?

@@ -1,0 +1,50 @@
+#include "api/compat.hpp"
+
+#include <utility>
+
+#include "api/engine.hpp"
+
+namespace abg::api {
+
+namespace {
+
+JobSpec one_shot_spec(const dsl::Dsl& dsl, const std::vector<trace::Segment>& segments) {
+  JobSpec spec;
+  spec.with_custom_dsl(dsl).with_segments(segments);
+  return spec;
+}
+
+}  // namespace
+
+synth::SynthesisResult synthesize(const dsl::Dsl& dsl,
+                                  const std::vector<trace::Segment>& segments,
+                                  const synth::SynthesisOptions& opts) {
+  Engine engine({.threads = opts.threads, .max_concurrent_jobs = 1});
+  JobSpec spec = one_shot_spec(dsl, segments);
+  spec.pipeline.synth = opts;
+  auto handle = engine.submit(std::move(spec));
+  if (!handle.ok()) {
+    synth::SynthesisResult r;
+    r.status = handle.status();
+    return r;
+  }
+  return handle->wait().pipeline.synthesis;
+}
+
+synth::Mister880Result run_mister880(const dsl::Dsl& dsl,
+                                     const std::vector<trace::Segment>& segments,
+                                     const synth::Mister880Options& opts) {
+  Engine engine({.threads = 1, .max_concurrent_jobs = 1});
+  JobSpec spec = one_shot_spec(dsl, segments);
+  spec.with_kind(JobSpec::Kind::kMister880);
+  spec.mister880 = opts;
+  auto handle = engine.submit(std::move(spec));
+  if (!handle.ok()) {
+    // The baseline has no status channel; an invalid spec yields an empty
+    // (not-found) result, matching the exhaustive search finding nothing.
+    return synth::Mister880Result{};
+  }
+  return handle->wait().mister880;
+}
+
+}  // namespace abg::api

@@ -1,0 +1,29 @@
+// Compatibility wrappers: the pre-Engine free-function surface, reimplemented
+// as thin one-job submissions so every call path exercises the same batch
+// engine. Prefer api::Engine for new code — these exist so callers written
+// against the original `synthesize(dsl, segments, opts)` shape keep working
+// and so tests can assert wrapper/engine equivalence.
+#pragma once
+
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "synth/mister880.hpp"
+#include "synth/refinement.hpp"
+#include "trace/trace.hpp"
+
+namespace abg::api {
+
+// One-job Engine run of the refinement search (Algorithm 1) over
+// pre-segmented input. Bit-identical to synth::synthesize with the same
+// arguments; the pool is sized from opts.threads.
+synth::SynthesisResult synthesize(const dsl::Dsl& dsl,
+                                  const std::vector<trace::Segment>& segments,
+                                  const synth::SynthesisOptions& opts = {});
+
+// One-job Engine run of the HotNets'21 decision-problem baseline.
+synth::Mister880Result run_mister880(const dsl::Dsl& dsl,
+                                     const std::vector<trace::Segment>& segments,
+                                     const synth::Mister880Options& opts = {});
+
+}  // namespace abg::api

@@ -1,0 +1,279 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/trace_events.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace abg::api {
+
+namespace detail {
+
+// One submitted job's full record: spec in, result out, plus the done latch
+// and the cancellation token the engine threads through the synthesis loop.
+struct JobInner {
+  explicit JobInner(JobSpec s)
+      : spec(std::move(s)), token(spec.pipeline.synth.cancel) {}
+
+  JobSpec spec;
+  JobResult result;
+  // Parent-linked to any caller-supplied token in the spec, so both the
+  // engine (cancel_all, handle.cancel) and the embedding application can
+  // preempt the job; the caller's token must outlive the run, as documented
+  // on SynthesisOptions::cancel.
+  util::CancellationToken token;
+
+  std::atomic<JobState> state{JobState::kQueued};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+}  // namespace detail
+
+// --- JobSpec validation ------------------------------------------------------
+
+util::Status JobSpec::validate() const {
+  auto bad = [](const std::string& msg) {
+    return util::Status(util::StatusCode::kInvalidArgument, msg);
+  };
+  const bool has_traces = !trace_paths.empty() || !traces.empty();
+  if (!has_traces && segments.empty()) {
+    return bad("job has no input: add trace paths, traces, or segments");
+  }
+  if (!segments.empty() && has_traces) {
+    return bad("pre-segmented input and raw traces are mutually exclusive");
+  }
+  for (const auto& p : trace_paths) {
+    if (p.empty()) return bad("empty trace path");
+  }
+  const bool has_dsl = custom_dsl.has_value() || pipeline.dsl_override.has_value();
+  if (!segments.empty() && !has_dsl) {
+    return bad("pre-segmented input needs an explicit DSL (there is nothing to classify)");
+  }
+  if (custom_dsl && custom_dsl->name.empty()) return bad("custom_dsl has no name");
+  if (auto st = pipeline.validate(); !st.is_ok()) return st.with_context("pipeline");
+  if (kind == Kind::kMister880) {
+    if (!has_dsl) return bad("mister880 jobs need an explicit DSL");
+    if (auto st = mister880.validate(); !st.is_ok()) return st.with_context("mister880");
+  }
+  return util::Status::ok();
+}
+
+// --- JobHandle ---------------------------------------------------------------
+
+const std::string& JobHandle::name() const { return inner_->result.name; }
+
+JobState JobHandle::state() const { return inner_->state.load(std::memory_order_acquire); }
+
+const JobResult* JobHandle::poll() const {
+  if (!inner_ || inner_->state.load(std::memory_order_acquire) != JobState::kDone) {
+    return nullptr;
+  }
+  return &inner_->result;
+}
+
+const JobResult& JobHandle::wait() const {
+  std::unique_lock lk(inner_->mu);
+  inner_->cv.wait(lk, [&] { return inner_->done; });
+  return inner_->result;
+}
+
+void JobHandle::cancel(util::StatusCode reason) const {
+  if (inner_) inner_->token.cancel(reason);
+}
+
+// --- Engine ------------------------------------------------------------------
+
+Engine::Engine(EngineOptions opts) : opts_([&] {
+      EngineOptions resolved = opts;
+      if (resolved.threads == 0) {
+        resolved.threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      }
+      if (resolved.max_concurrent_jobs == 0) {
+        resolved.max_concurrent_jobs = std::min<std::size_t>(4, resolved.threads);
+      }
+      return resolved;
+    }()),
+    pool_(opts_.threads) {
+  drivers_.reserve(opts_.max_concurrent_jobs);
+  for (std::size_t i = 0; i < opts_.max_concurrent_jobs; ++i) {
+    drivers_.emplace_back([this] { driver_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  wait_all();
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& d : drivers_) d.join();
+}
+
+util::Result<JobHandle> Engine::submit(JobSpec spec) {
+  if (auto st = spec.validate(); !st.is_ok()) {
+    return st.with_context(spec.name.empty() ? std::string("job") : "job '" + spec.name + "'");
+  }
+  auto inner = std::make_shared<detail::JobInner>(std::move(spec));
+  {
+    std::lock_guard lk(mu_);
+    ++submitted_;
+    if (inner->spec.name.empty()) inner->spec.name = "job-" + std::to_string(submitted_);
+    inner->result.name = inner->spec.name;
+    inner->result.kind = inner->spec.kind;
+    queue_.push_back(inner);
+    jobs_.push_back(inner);
+  }
+  static auto& c_submitted = obs::counter("api.jobs_submitted");
+  c_submitted.add();
+  cv_.notify_one();
+  return JobHandle(std::move(inner));
+}
+
+util::Result<std::vector<JobHandle>> Engine::submit_all(std::vector<JobSpec> specs) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (auto st = specs[i].validate(); !st.is_ok()) {
+      return st.with_context("manifest job " + std::to_string(i + 1) +
+                             (specs[i].name.empty() ? "" : " ('" + specs[i].name + "')"));
+    }
+  }
+  std::vector<JobHandle> handles;
+  handles.reserve(specs.size());
+  for (auto& spec : specs) {
+    auto h = submit(std::move(spec));
+    if (!h.ok()) return h.status();  // unreachable: validated above
+    handles.push_back(std::move(*h));
+  }
+  return handles;
+}
+
+void Engine::wait_all() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void Engine::cancel_all(util::StatusCode reason) {
+  std::lock_guard lk(mu_);
+  for (auto& j : jobs_) j->token.cancel(reason);
+}
+
+std::size_t Engine::jobs_submitted() const {
+  std::lock_guard lk(mu_);
+  return submitted_;
+}
+
+void Engine::driver_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobInner> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      ++active_;
+    }
+    job->state.store(JobState::kRunning, std::memory_order_release);
+    run_job(*job);
+    {
+      std::lock_guard lk(job->mu);
+      job->done = true;
+    }
+    job->state.store(JobState::kDone, std::memory_order_release);
+    job->cv.notify_all();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Engine::run_job(detail::JobInner& job) {
+  static auto& c_completed = obs::counter("api.jobs_completed");
+  util::Stopwatch clock;
+  obs::TraceSpan span("api.job " + job.spec.name, "api");
+  JobResult& out = job.result;
+
+  // Inject the shared infrastructure. The spec's own options stay authoritative
+  // for everything that affects the search result; only the executor, memo
+  // cache, cancellation, and progress plumbing are engine-provided.
+  core::PipelineOptions popts = job.spec.pipeline;
+  popts.synth.pool = &pool_;
+  popts.synth.shared_cache =
+      (opts_.share_eval_cache && popts.synth.use_eval_cache) ? &cache_ : nullptr;
+  popts.synth.cancel = &job.token;
+  popts.synth.on_iteration = job.spec.on_iteration;
+
+  // Assemble the input traces.
+  std::vector<trace::Trace> traces;
+  for (const auto& path : job.spec.trace_paths) {
+    auto t = trace::load_csv(path, job.spec.load);
+    if (!t.ok()) {
+      // A batch manifest must not silently shrink its inputs: one bad file
+      // fails this job (and only this job).
+      out.status = t.status().with_context(path);
+      out.seconds = clock.elapsed_seconds();
+      c_completed.add();
+      return;
+    }
+    traces.push_back(std::move(*t));
+  }
+  for (const auto& t : job.spec.traces) traces.push_back(t);
+
+  // Resolve pre-segmented input and the explicit-DSL paths.
+  const bool pre_segmented = !job.spec.segments.empty();
+  auto resolve_dsl = [&]() -> dsl::Dsl {
+    if (job.spec.custom_dsl) return *job.spec.custom_dsl;
+    return dsl::dsl_by_name(*popts.dsl_override);  // validated: name is curated
+  };
+
+  if (job.spec.kind == JobSpec::Kind::kMister880) {
+    std::vector<trace::Segment> segments = job.spec.segments;
+    if (!pre_segmented) {
+      std::vector<trace::Trace> steady;
+      steady.reserve(traces.size());
+      for (const auto& t : traces) steady.push_back(trace::trim_warmup(t, popts.warmup_s));
+      segments = trace::segment_all(steady, popts.min_segment_samples, popts.skip_first_segment);
+    }
+    out.segments_total = segments.size();
+    out.mister880 = synth::mister880_synthesize(resolve_dsl(), segments, job.spec.mister880);
+    out.status = util::Status::ok();
+    out.seconds = clock.elapsed_seconds();
+    c_completed.add();
+    return;
+  }
+
+  if (pre_segmented || job.spec.custom_dsl) {
+    // Direct synthesis: an explicit search space, no classification stage.
+    const dsl::Dsl d = resolve_dsl();
+    std::vector<trace::Segment> segments = job.spec.segments;
+    if (!pre_segmented) {
+      std::vector<trace::Trace> steady;
+      steady.reserve(traces.size());
+      for (const auto& t : traces) steady.push_back(trace::trim_warmup(t, popts.warmup_s));
+      segments = trace::segment_all(steady, popts.min_segment_samples, popts.skip_first_segment);
+    }
+    out.pipeline.dsl_name = d.name;
+    out.pipeline.segments_total = segments.size();
+    out.pipeline.synthesis = synth::synthesize(d, segments, popts.synth);
+  } else {
+    out.pipeline = core::Abagnale(popts).run(traces);
+  }
+  out.segments_total = out.pipeline.segments_total;
+  out.status = out.pipeline.synthesis.status;
+  out.cache_hits = out.pipeline.synthesis.cache_hits;
+  out.cache_misses = out.pipeline.synthesis.cache_misses;
+  out.seconds = clock.elapsed_seconds();
+  c_completed.add();
+}
+
+}  // namespace abg::api

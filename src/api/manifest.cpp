@@ -1,0 +1,212 @@
+#include "api/manifest.hpp"
+
+#include <set>
+#include <utility>
+
+#include "util/json_parse.hpp"
+
+namespace abg::api {
+
+namespace {
+
+util::Status bad(const std::string& msg) {
+  return util::Status(util::StatusCode::kInvalidArgument, msg);
+}
+
+// Typed field extraction. Each setter returns kInvalidArgument naming the key
+// on a type mismatch; absent keys leave the default untouched.
+util::Status read_int(const util::JsonValue& obj, const std::string& key, int* out) {
+  const auto* v = obj.find(key);
+  if (!v) return util::Status::ok();
+  if (!v->is_number()) return bad("'" + key + "' must be a number");
+  *out = static_cast<int>(v->as_int());
+  return util::Status::ok();
+}
+
+util::Status read_size(const util::JsonValue& obj, const std::string& key, std::size_t* out) {
+  const auto* v = obj.find(key);
+  if (!v) return util::Status::ok();
+  if (!v->is_number() || v->as_double() < 0) return bad("'" + key + "' must be a non-negative number");
+  *out = static_cast<std::size_t>(v->as_int());
+  return util::Status::ok();
+}
+
+util::Status read_double(const util::JsonValue& obj, const std::string& key, double* out) {
+  const auto* v = obj.find(key);
+  if (!v) return util::Status::ok();
+  if (!v->is_number()) return bad("'" + key + "' must be a number");
+  *out = v->as_double();
+  return util::Status::ok();
+}
+
+util::Status read_bool(const util::JsonValue& obj, const std::string& key, bool* out) {
+  const auto* v = obj.find(key);
+  if (!v) return util::Status::ok();
+  if (!v->is_bool()) return bad("'" + key + "' must be true or false");
+  *out = v->as_bool();
+  return util::Status::ok();
+}
+
+util::Status read_string(const util::JsonValue& obj, const std::string& key, std::string* out) {
+  const auto* v = obj.find(key);
+  if (!v) return util::Status::ok();
+  if (!v->is_string()) return bad("'" + key + "' must be a string");
+  *out = v->as_string();
+  return util::Status::ok();
+}
+
+const std::set<std::string>& known_job_keys() {
+  static const std::set<std::string> keys = {
+      "name",          "traces",         "kind",
+      "dsl",           "timeout_s",      "seed",
+      "metric",        "max_iterations", "initial_samples",
+      "concretize_budget", "max_depth",  "max_nodes",
+      "max_holes",     "warmup_s",       "min_segment_samples",
+      "fast_path",     "repair_traces",  "checkpoint",
+      "resume"};
+  return keys;
+}
+
+util::Status parse_job(const util::JsonValue& j, JobSpec* spec) {
+  if (!j.is_object()) return bad("job entry must be an object");
+  for (const auto& [key, value] : j.members()) {
+    (void)value;
+    if (!known_job_keys().count(key)) return bad("unknown job key '" + key + "'");
+  }
+
+  // Batch jobs start from the same defaults as `abagnale_cli synthesize`, so
+  // a manifest entry and the equivalent single-job invocation agree.
+  auto& synth = spec->pipeline.synth;
+  synth.initial_samples = 8;
+  synth.concretize_budget = 24;
+  synth.max_depth = 4;
+  synth.max_nodes = 9;
+  synth.max_holes = 3;
+  synth.dopts.max_points = 128;
+  synth.timeout_s = 120.0;
+
+  if (auto st = read_string(j, "name", &spec->name); !st.is_ok()) return st;
+
+  const auto* traces = j.find("traces");
+  if (!traces || !traces->is_array() || traces->items().empty()) {
+    return bad("'traces' must be a non-empty array of CSV paths");
+  }
+  for (const auto& t : traces->items()) {
+    if (!t.is_string() || t.as_string().empty()) {
+      return bad("'traces' entries must be non-empty strings");
+    }
+    spec->trace_paths.push_back(t.as_string());
+  }
+
+  std::string kind = "pipeline";
+  if (auto st = read_string(j, "kind", &kind); !st.is_ok()) return st;
+  if (kind == "pipeline") {
+    spec->kind = JobSpec::Kind::kPipeline;
+  } else if (kind == "mister880") {
+    spec->kind = JobSpec::Kind::kMister880;
+  } else {
+    return bad("'kind' must be \"pipeline\" or \"mister880\", got \"" + kind + "\"");
+  }
+
+  std::string dsl;
+  if (auto st = read_string(j, "dsl", &dsl); !st.is_ok()) return st;
+  if (!dsl.empty()) spec->pipeline.dsl_override = dsl;
+
+  std::string metric;
+  if (auto st = read_string(j, "metric", &metric); !st.is_ok()) return st;
+  if (!metric.empty()) {
+    if (metric == "dtw") {
+      synth.metric = distance::Metric::kDtw;
+    } else if (metric == "euclidean") {
+      synth.metric = distance::Metric::kEuclidean;
+    } else {
+      return bad("'metric' must be \"dtw\" or \"euclidean\", got \"" + metric + "\"");
+    }
+  }
+
+  if (auto st = read_double(j, "timeout_s", &synth.timeout_s); !st.is_ok()) return st;
+  if (const auto* v = j.find("seed")) {
+    if (!v->is_number()) return bad("'seed' must be a number");
+    synth.seed = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (auto st = read_int(j, "max_iterations", &synth.max_iterations); !st.is_ok()) return st;
+  if (auto st = read_int(j, "initial_samples", &synth.initial_samples); !st.is_ok()) return st;
+  if (auto st = read_size(j, "concretize_budget", &synth.concretize_budget); !st.is_ok()) return st;
+  {
+    int depth = *synth.max_depth;
+    if (auto st = read_int(j, "max_depth", &depth); !st.is_ok()) return st;
+    synth.max_depth = depth;
+    int nodes = *synth.max_nodes;
+    if (auto st = read_int(j, "max_nodes", &nodes); !st.is_ok()) return st;
+    synth.max_nodes = nodes;
+  }
+  if (auto st = read_int(j, "max_holes", &synth.max_holes); !st.is_ok()) return st;
+  if (auto st = read_double(j, "warmup_s", &spec->pipeline.warmup_s); !st.is_ok()) return st;
+  if (auto st = read_size(j, "min_segment_samples", &spec->pipeline.min_segment_samples);
+      !st.is_ok()) {
+    return st;
+  }
+
+  bool fast_path = true;
+  if (auto st = read_bool(j, "fast_path", &fast_path); !st.is_ok()) return st;
+  synth.use_eval_cache = fast_path;
+  synth.early_abandon = fast_path;
+
+  if (auto st = read_bool(j, "repair_traces", &spec->load.repair); !st.is_ok()) return st;
+  if (auto st = read_string(j, "checkpoint", &synth.checkpoint_path); !st.is_ok()) return st;
+  if (auto st = read_bool(j, "resume", &synth.resume); !st.is_ok()) return st;
+
+  return util::Status::ok();
+}
+
+util::Result<Manifest> parse_manifest_doc(const util::JsonValue& doc) {
+  if (!doc.is_object()) return bad("manifest must be a JSON object");
+
+  static const std::set<std::string> top_keys = {"threads", "max_concurrent_jobs",
+                                                "share_eval_cache", "report", "jobs"};
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (!top_keys.count(key)) return bad("unknown manifest key '" + key + "'");
+  }
+
+  Manifest m;
+  if (auto st = read_size(doc, "threads", &m.engine.threads); !st.is_ok()) return st;
+  if (auto st = read_size(doc, "max_concurrent_jobs", &m.engine.max_concurrent_jobs);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = read_bool(doc, "share_eval_cache", &m.engine.share_eval_cache); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = read_string(doc, "report", &m.report_path); !st.is_ok()) return st;
+
+  const auto* jobs = doc.find("jobs");
+  if (!jobs || !jobs->is_array() || jobs->items().empty()) {
+    return bad("'jobs' must be a non-empty array");
+  }
+  m.jobs.reserve(jobs->items().size());
+  for (std::size_t i = 0; i < jobs->items().size(); ++i) {
+    JobSpec spec;
+    if (auto st = parse_job(jobs->items()[i], &spec); !st.is_ok()) {
+      return st.with_context("jobs[" + std::to_string(i) + "]");
+    }
+    m.jobs.push_back(std::move(spec));
+  }
+  return m;
+}
+
+}  // namespace
+
+util::Result<Manifest> parse_manifest(std::string_view json_text) {
+  auto doc = util::parse_json(json_text);
+  if (!doc.ok()) return doc.status();
+  return parse_manifest_doc(*doc);
+}
+
+util::Result<Manifest> load_manifest(const std::string& path) {
+  auto doc = util::load_json(path);
+  if (!doc.ok()) return doc.status();
+  return parse_manifest_doc(*doc).with_context(path);
+}
+
+}  // namespace abg::api

@@ -1,0 +1,53 @@
+// Batch manifest loader: turns a JSON sweep description into EngineOptions +
+// a vector of JobSpecs for `abagnale_cli --batch manifest.json`. Shape:
+//
+//   {
+//     "threads": 8,                  // optional, 0/absent = hardware
+//     "max_concurrent_jobs": 4,     // optional, 0/absent = min(4, threads)
+//     "share_eval_cache": true,     // optional, default true
+//     "report": "report.json",      // optional consolidated-report path
+//     "jobs": [
+//       {
+//         "name": "reno",           // optional, auto "job-N"
+//         "traces": ["a.csv", ...], // required
+//         "kind": "pipeline",       // or "mister880"; default pipeline
+//         "dsl": "reno",            // optional forced sub-DSL
+//         "timeout_s": 120, "seed": 7, "metric": "dtw" | "euclidean",
+//         "max_iterations": 6, "initial_samples": 16,
+//         "concretize_budget": 24, "max_depth": 4, "max_nodes": 9,
+//         "max_holes": 3, "warmup_s": 2.0, "min_segment_samples": 20,
+//         "fast_path": true, "repair_traces": false,
+//         "checkpoint": "state.bin", "resume": false
+//       }, ...
+//     ]
+//   }
+//
+// Unknown keys are rejected (a typoed budget silently using the default is
+// exactly the kind of sweep bug a manifest exists to prevent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/job.hpp"
+#include "util/result.hpp"
+
+namespace abg::api {
+
+struct Manifest {
+  EngineOptions engine;
+  std::vector<JobSpec> jobs;
+  // Consolidated JSON run-report path; empty = no report file.
+  std::string report_path;
+};
+
+// Parse a manifest from JSON text. Structural and type errors come back as
+// kParseError / kInvalidArgument naming the offending job and key; JobSpec
+// validation itself happens later at Engine::submit.
+util::Result<Manifest> parse_manifest(std::string_view json_text);
+
+// Load + parse a manifest file.
+util::Result<Manifest> load_manifest(const std::string& path);
+
+}  // namespace abg::api

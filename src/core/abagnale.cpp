@@ -1,9 +1,28 @@
 #include "core/abagnale.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "dsl/known_handlers.hpp"
 #include "util/log.hpp"
 
 namespace abg::core {
+
+util::Status PipelineOptions::validate() const {
+  auto bad = [](const std::string& msg) {
+    return util::Status(util::StatusCode::kInvalidArgument, msg);
+  };
+  if (auto st = synth.validate(); !st.is_ok()) return st;
+  if (min_segment_samples < 1) return bad("min_segment_samples must be >= 1");
+  if (std::isnan(warmup_s) || warmup_s < 0.0) return bad("warmup_s must be finite and >= 0");
+  if (dsl_override) {
+    const auto names = dsl::curated_dsl_names();
+    if (std::find(names.begin(), names.end(), *dsl_override) == names.end()) {
+      return bad("unknown dsl_override '" + *dsl_override + "'");
+    }
+  }
+  return util::Status::ok();
+}
 
 std::string PipelineResult::handler_string() const {
   return found() ? dsl::to_string(*synthesis.best.handler) : "<none>";
@@ -31,6 +50,10 @@ PipelineResult Abagnale::run_with_dsl(const std::vector<trace::Trace>& traces,
                                       const std::string& dsl_name) const {
   PipelineResult result;
   result.dsl_name = dsl_name;
+  if (auto st = opts_.validate(); !st.is_ok()) {
+    result.synthesis.status = st.with_context("PipelineOptions");
+    return result;
+  }
   std::vector<trace::Trace> steady;
   steady.reserve(traces.size());
   for (const auto& t : traces) steady.push_back(trace::trim_warmup(t, opts_.warmup_s));
@@ -44,6 +67,11 @@ PipelineResult Abagnale::run_with_dsl(const std::vector<trace::Trace>& traces,
 }
 
 PipelineResult Abagnale::run(const std::vector<trace::Trace>& traces) const {
+  if (auto st = opts_.validate(); !st.is_ok()) {
+    PipelineResult result;
+    result.synthesis.status = st.with_context("PipelineOptions");
+    return result;
+  }
   if (opts_.dsl_override) {
     return run_with_dsl(traces, *opts_.dsl_override);
   }

@@ -12,6 +12,7 @@
 #include "classify/classifier.hpp"
 #include "synth/refinement.hpp"
 #include "trace/trace.hpp"
+#include "util/status.hpp"
 
 namespace abg::core {
 
@@ -27,6 +28,11 @@ struct PipelineOptions {
   bool skip_first_segment = false;
   // Skip classification and force a curated DSL by name.
   std::optional<std::string> dsl_override;
+
+  // Eager validation of the whole option tree (synth options included).
+  // Returns kInvalidArgument naming the first bad field; called by run()/
+  // run_with_dsl() and by every abg::api entry point before any work starts.
+  util::Status validate() const;
 };
 
 struct PipelineResult {

@@ -8,6 +8,21 @@
 
 namespace abg::synth {
 
+util::Status Mister880Options::validate() const {
+  auto bad = [](const std::string& msg) {
+    return util::Status(util::StatusCode::kInvalidArgument, msg);
+  };
+  if (std::isnan(match_tolerance) || match_tolerance <= 0.0) {
+    return bad("match_tolerance must be a positive fraction");
+  }
+  if (max_depth && *max_depth < 1) return bad("max_depth must be >= 1 when set");
+  if (max_nodes && *max_nodes < 1) return bad("max_nodes must be >= 1 when set");
+  if (max_holes < 0) return bad("max_holes must be >= 0");
+  if (max_sketches < 1) return bad("max_sketches must be >= 1");
+  if (concretize_budget < 1) return bad("concretize_budget must be >= 1");
+  return util::Status::ok();
+}
+
 bool exact_match(const dsl::Expr& handler, const trace::Segment& segment, double tolerance) {
   const auto synth = replay(handler, segment);
   const auto observed = observed_series_pkts(segment);

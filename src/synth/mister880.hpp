@@ -20,6 +20,7 @@
 #include "synth/enumerator.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace abg::synth {
 
@@ -37,6 +38,10 @@ struct Mister880Options {
   std::size_t concretize_budget = 48;
   bool unit_check = true;
   std::uint64_t seed = 7;
+
+  // Eager validation, same contract as SynthesisOptions::validate():
+  // kInvalidArgument naming the first bad field.
+  util::Status validate() const;
 };
 
 struct Mister880Result {

@@ -1,6 +1,7 @@
 #include "synth/refinement.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
 
@@ -41,6 +42,47 @@ std::uint64_t label_seed(const std::string& label, std::uint64_t seed) {
 
 }  // namespace
 
+util::Status SynthesisOptions::validate() const {
+  auto bad = [](const std::string& msg) {
+    return util::Status(util::StatusCode::kInvalidArgument, msg);
+  };
+  auto require_min = [&](long long v, long long min, const char* field) {
+    return v < min ? bad(std::string(field) + " must be >= " + std::to_string(min) + ", got " +
+                         std::to_string(v))
+                   : util::Status::ok();
+  };
+  if (auto st = require_min(initial_samples, 1, "initial_samples"); !st.is_ok()) return st;
+  if (auto st = require_min(initial_keep, 1, "initial_keep"); !st.is_ok()) return st;
+  if (auto st = require_min(initial_segments, 1, "initial_segments"); !st.is_ok()) return st;
+  if (auto st = require_min(static_cast<long long>(final_validation_segments), 1,
+                            "final_validation_segments");
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = require_min(sample_growth, 1, "sample_growth"); !st.is_ok()) return st;
+  if (auto st = require_min(static_cast<long long>(concretize_budget), 1, "concretize_budget");
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = require_min(max_iterations, 1, "max_iterations"); !st.is_ok()) return st;
+  if (auto st = require_min(static_cast<long long>(exhaustive_cap), 1, "exhaustive_cap");
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = require_min(max_holes, 0, "max_holes"); !st.is_ok()) return st;
+  if (max_depth && *max_depth < 1) return bad("max_depth must be >= 1 when set");
+  if (max_nodes && *max_nodes < 1) return bad("max_nodes must be >= 1 when set");
+  if (std::isnan(timeout_s) || timeout_s < 0.0) {
+    return bad("timeout_s must be >= 0 (0 = expire immediately, infinity = no deadline)");
+  }
+  if (dopts.max_points < 2) return bad("dopts.max_points must be >= 2");
+  if (std::isnan(dopts.dtw_band_frac)) return bad("dopts.dtw_band_frac must not be NaN");
+  if (resume && checkpoint_path.empty()) {
+    return bad("resume requires a checkpoint_path to restore from");
+  }
+  return util::Status::ok();
+}
+
 ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
                            const std::vector<trace::Segment>& segments,
                            const std::vector<double>& constant_pool,
@@ -76,6 +118,14 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
       if (auto hit = cache->lookup(ctx->fingerprint, canon_hash, *canon)) {
         d = *hit;
         cached = true;
+      }
+      // Per-run attribution (SynthesisResult::cache_hits): the cache's own
+      // tallies are instance-wide, which conflates jobs once the engine
+      // shares one cache across a batch.
+      if (cached && ctx->cache_hit_tally) {
+        ctx->cache_hit_tally->fetch_add(1, std::memory_order_relaxed);
+      } else if (!cached && ctx->cache_miss_tally) {
+        ctx->cache_miss_tally->fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (!cached) {
@@ -115,6 +165,13 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   util::Stopwatch total_clock;
   SynthesisResult result;
 
+  // Eager options validation (ISSUE 4): a bad knob fails here, before any
+  // enumerator, pool, or checkpoint work, with the field named in the status.
+  if (auto st = opts.validate(); !st.is_ok()) {
+    result.status = st.with_context("SynthesisOptions");
+    return result;
+  }
+
   // All interrupt sources — the deadline watchdog, a caller-supplied token,
   // and injected faults — funnel into one local token polled at every safe
   // point below. First cancel wins and carries the reason (kTimeout vs
@@ -147,7 +204,15 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   // The initial grow_to happens after the resume block below: a restored
   // sampler already contains its selection and RNG position.
 
-  util::ThreadPool pool(opts.threads == 0 ? std::thread::hardware_concurrency() : opts.threads);
+  // Executor: a caller-supplied shared pool (the batch engine's), or a
+  // private one sized by opts.threads for standalone runs.
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = opts.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<util::ThreadPool>(
+        opts.threads == 0 ? std::thread::hardware_concurrency() : opts.threads);
+    pool = owned_pool.get();
+  }
   std::mutex best_mu;
   std::vector<ScoredHandler> candidates;  // every bucket-best ever seen
 
@@ -155,8 +220,13 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   // (pool workers hit different mutex stripes concurrently). Re-scoring a
   // sketch list under an unchanged working set — the terminal exhaustive
   // phase, and every iteration once the sampler has consumed its pool —
-  // reuses the exact distances instead of replaying.
-  EvalCache cache;
+  // reuses the exact distances instead of replaying. A caller-supplied
+  // shared_cache extends the reuse across jobs; entries are exact, so this
+  // never changes the result.
+  EvalCache local_cache;
+  EvalCache* cache = opts.shared_cache != nullptr ? opts.shared_cache : &local_cache;
+  std::atomic<std::uint64_t> run_cache_hits{0};
+  std::atomic<std::uint64_t> run_cache_misses{0};
 
   int n = opts.initial_samples;
   int k = opts.initial_keep;
@@ -205,9 +275,11 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     // Re-score all sketches under the (possibly grown) segment set, as
     // Algorithm 1 line 5 does.
     EvalContext ctx;
-    ctx.cache = opts.use_eval_cache ? &cache : nullptr;
+    ctx.cache = opts.use_eval_cache ? cache : nullptr;
     ctx.fingerprint = opts.use_eval_cache ? segment_set_fingerprint(working) : 0;
     ctx.cancel = &tok;
+    ctx.cache_hit_tally = &run_cache_hits;
+    ctx.cache_miss_tally = &run_cache_misses;
     ScoredHandler bucket_best;
     for (const auto& sk : st.sketches) {
       // Bound by this bucket's own best, not the global one: the per-bucket
@@ -379,7 +451,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     if (working.empty()) working = segments;  // tiny pools: use everything
 
     // Parallel bucket scoring (line 3 of Algorithm 1).
-    pool.parallel_for(live.size(), [&](std::size_t i) {
+    pool->parallel_for(live.size(), [&](std::size_t i) {
       score_bucket(states[live[i]], static_cast<std::size_t>(n), working);
     });
 
@@ -421,6 +493,9 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     }
     report.seconds = iter_clock.elapsed_seconds();
     result.iterations.push_back(std::move(report));
+    // Streamed progress for JobHandle subscribers; runs on this thread so
+    // the callback may read the report without synchronization.
+    if (opts.on_iteration) opts.on_iteration(result.iterations.back());
 
     ABG_INFO("iter %d: %zu buckets live, N=%d, best=%.3f (%s)", iter, live.size(), n,
              result.best.distance,
@@ -477,7 +552,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     c_validated.add(unique.size());
     std::mutex val_mu;
     ScoredHandler winner;
-    pool.parallel_for(unique.size(), [&](std::size_t i) {
+    pool->parallel_for(unique.size(), [&](std::size_t i) {
       // Snapshot the winner's distance as the abandon bound: it only ever
       // shrinks, so a candidate abandoned against a stale value is also at
       // or above the final minimum and could never have been selected.
@@ -501,6 +576,8 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     result.total_sketches += st.sketches.size();
     result.total_handlers_scored += st.handlers_scored;
   }
+  result.cache_hits = run_cache_hits.load(std::memory_order_relaxed);
+  result.cache_misses = run_cache_misses.load(std::memory_order_relaxed);
   result.seconds = total_clock.elapsed_seconds();
   return result;
 }

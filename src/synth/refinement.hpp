@@ -10,7 +10,9 @@
 // reproduced from a single synthesis run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -28,7 +30,13 @@
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
+namespace abg::util {
+class ThreadPool;
+}  // namespace abg::util
+
 namespace abg::synth {
+
+struct IterationReport;
 
 struct SynthesisOptions {
   distance::Metric metric = distance::Metric::kDtw;
@@ -78,6 +86,30 @@ struct SynthesisOptions {
   // Thread the running best distance into total_distance/DTW so hopeless
   // candidates abandon early ("dtw.early_abandons", "synth.distance_abandons").
   bool early_abandon = true;
+
+  // --- Batch engine hooks (ISSUE 4). None of these change the result; they
+  // let abg::api::Engine run many jobs against shared infrastructure.
+  // Non-owning executor. When set, bucket scoring and final validation run on
+  // this pool (shared across jobs by the engine) instead of a fresh per-run
+  // pool; `threads` is then ignored. Must outlive the synthesize() call.
+  util::ThreadPool* pool = nullptr;
+  // Non-owning cross-job memo cache. When set (and use_eval_cache is true),
+  // it replaces the per-run cache, so a second job over the same segment
+  // working sets answers its evaluations from the first job's inserts.
+  // Entries are exact and keyed by (segment fingerprint, canonical handler),
+  // so sharing never changes any job's result. Must outlive the call.
+  EvalCache* shared_cache = nullptr;
+  // Streamed progress: invoked on the synthesizing thread right after each
+  // completed iteration's report is recorded (checkpoint-restored iterations
+  // are not replayed). The report reference is valid only during the call.
+  std::function<void(const IterationReport&)> on_iteration;
+
+  // Eager validation of every knob above; called by synthesize() and by
+  // every api entry point. Returns kInvalidArgument naming the first bad
+  // field, so misconfiguration fails before any work instead of late (a
+  // negative sample count, zero keep, or segments < 1 previously crept into
+  // the loop arithmetic).
+  util::Status validate() const;
 };
 
 struct ScoredHandler {
@@ -112,6 +144,11 @@ struct SynthesisResult {
   std::size_t initial_buckets = 0;
   std::size_t total_sketches = 0;
   std::size_t total_handlers_scored = 0;
+  // This run's own memo-cache traffic. Unlike the process-global
+  // "synth.cache_hits" obs counter, these stay per-job even when several
+  // jobs share one EvalCache through SynthesisOptions::shared_cache.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   bool timed_out = false;
   // True when the run was preempted (deadline, external cancel, or injected
   // fault) and `best` is the best-so-far rather than a completed search.
@@ -144,6 +181,11 @@ struct EvalContext {
   // Polled once per concretized handler; when set and fired, score_sketch
   // stops early but still returns the best handler it has already scored.
   const util::CancellationToken* cancel = nullptr;
+  // Per-run cache tallies (see SynthesisResult::cache_hits). Optional; the
+  // shared EvalCache's own counters are global, so attribution to a job has
+  // to happen at the probe site.
+  std::atomic<std::uint64_t>* cache_hit_tally = nullptr;
+  std::atomic<std::uint64_t>* cache_miss_tally = nullptr;
 };
 
 // Score one sketch against a working set of segments: concretize (§4.2),

@@ -1,0 +1,259 @@
+#include "util/json_parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace abg::util {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    auto v = parse_value(0);
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Status error(const std::string& msg) const {
+    return Status(StatusCode::kParseError, "line " + std::to_string(line_) + ": " + msg);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\n') ++line_;
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Result<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (eof()) return error("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return s.status();
+        return JsonValue::string(std::move(*s));
+      }
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        return error("bad literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        return error("bad literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        return error("bad literal (expected 'null')");
+      default: return parse_number();
+    }
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error(std::string("unexpected character '") + peek() + "'");
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      return error("bad number '" + token + "'");
+    }
+    return JsonValue::number(d);
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) return error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') return error("raw newline in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (manifests are config files;
+          // surrogate pairs outside the BMP are not supported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return error(std::string("bad escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Result<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    while (true) {
+      auto v = parse_value(depth + 1);
+      if (!v.ok()) return v;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (eof()) return error("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return JsonValue::array(std::move(items));
+      if (c != ',') return error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return error("expected string key in object");
+      auto key = parse_string();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (eof() || text_[pos_++] != ':') return error("expected ':' after object key");
+      auto v = parse_value(depth + 1);
+      if (!v.ok()) return v;
+      members.emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (eof()) return error("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return JsonValue::object(std::move(members));
+      if (c != ',') return error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) { return Parser(text).parse(); }
+
+Result<JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(StatusCode::kIoError, "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status(StatusCode::kIoError, "read failed for " + path);
+  return parse_json(buf.str()).with_context(path);
+}
+
+}  // namespace abg::util

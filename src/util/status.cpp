@@ -12,6 +12,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kNumericError: return "numeric-error";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
   }
   return "unknown";
 }
@@ -26,6 +27,7 @@ int exit_code(StatusCode code) {
     case StatusCode::kCancelled: return 6;
     case StatusCode::kIoError: return 7;
     case StatusCode::kNumericError: return 8;
+    case StatusCode::kInvalidArgument: return 9;
   }
   return 1;
 }

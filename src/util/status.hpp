@@ -14,13 +14,14 @@ namespace abg::util {
 // Error taxonomy. Keep in sync with status_code_name() and exit_code().
 enum class StatusCode {
   kOk = 0,
-  kUnknown,       // unclassified failure
-  kParseError,    // malformed text: CSV header, numeric field, handler expr
-  kInvalidTrace,  // well-formed but semantically bad trace data
-  kTimeout,       // deadline expired (cooperative preemption)
-  kCancelled,     // explicit cancellation (token, fault injector)
-  kIoError,       // file open/read/write/rename failure
-  kNumericError,  // non-finite value where a finite one is required
+  kUnknown,          // unclassified failure
+  kParseError,       // malformed text: CSV header, numeric field, handler expr
+  kInvalidTrace,     // well-formed but semantically bad trace data
+  kTimeout,          // deadline expired (cooperative preemption)
+  kCancelled,        // explicit cancellation (token, fault injector)
+  kIoError,          // file open/read/write/rename failure
+  kNumericError,     // non-finite value where a finite one is required
+  kInvalidArgument,  // caller-supplied options/spec rejected by validation
 };
 
 // Stable short name, e.g. "parse-error".
@@ -28,7 +29,8 @@ const char* status_code_name(StatusCode code);
 
 // Distinct process exit code per class, for the CLI and run_all.sh:
 // ok=0, unknown=1 (2 is reserved for usage errors), parse-error=3,
-// invalid-trace=4, timeout=5, cancelled=6, io-error=7, numeric-error=8.
+// invalid-trace=4, timeout=5, cancelled=6, io-error=7, numeric-error=8,
+// invalid-argument=9.
 int exit_code(StatusCode code);
 
 class Status {

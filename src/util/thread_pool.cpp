@@ -1,7 +1,6 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "obs/registry.hpp"
 #include "obs/trace_events.hpp"
@@ -17,15 +16,17 @@ void note_task_queued() {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    std::lock_guard lk(sleep_mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,38 +35,79 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::enqueue(std::function<void()> fn) {
+  detail::note_task_queued();
+  Task task{std::move(fn), std::chrono::steady_clock::now()};
+  const std::size_t victim =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard lk(queues_[victim]->mu);
+    queues_[victim]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard lk(sleep_mu_);
+    ++pending_;
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_claim(std::size_t self, Task* out) {
+  bool claimed = false;
+  {
+    // Own deque first, newest task (back): it is the most cache-hot and, for
+    // parallel_for helpers, the most likely to still have unclaimed indices.
+    auto& q = *queues_[self];
+    std::lock_guard lk(q.mu);
+    if (!q.deque.empty()) {
+      *out = std::move(q.deque.back());
+      q.deque.pop_back();
+      claimed = true;
+    }
+  }
+  // Steal oldest-first (front) from peers: FIFO stealing drains the
+  // longest-waiting job's tasks first, which is what keeps a batch of
+  // concurrent synthesis jobs roughly fair.
+  for (std::size_t off = 1; !claimed && off < queues_.size(); ++off) {
+    auto& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard lk(q.mu);
+    if (!q.deque.empty()) {
+      *out = std::move(q.deque.front());
+      q.deque.pop_front();
+      claimed = true;
+    }
+  }
+  if (claimed) {
+    std::lock_guard lk(sleep_mu_);
+    --pending_;
+    // Shutdown edge: the worker that claims the last task releases any
+    // peers parked on the cv so they can observe stop_ && pending_ == 0.
+    if (stop_ && pending_ == 0) cv_.notify_all();
+  }
+  return claimed;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
   static auto& c_executed = obs::counter("pool.tasks_executed");
   static auto& h_wait = obs::histogram("pool.queue_wait_us");
   for (;;) {
     Task task;
-    {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (try_claim(self, &task)) {
+      h_wait.observe(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - task.enqueued)
+                         .count());
+      c_executed.add();
+      obs::TraceSpan span("pool.task", "pool");
+      task.fn();
+      continue;
     }
-    h_wait.observe(std::chrono::duration<double, std::micro>(
-                       std::chrono::steady_clock::now() - task.enqueued)
-                       .count());
-    c_executed.add();
-    obs::TraceSpan span("pool.task", "pool");
-    task.fn();
+    std::unique_lock lk(sleep_mu_);
+    if (stop_ && pending_ == 0) return;
+    // pending_ > 0 with an empty scan means a task landed (or a claim is
+    // mid-flight) since we looked: rescan instead of sleeping.
+    if (pending_ > 0) continue;
+    cv_.wait(lk, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;
   }
-}
-
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([i, &fn] { fn(i); }));
-  }
-  for (auto& f : futs) f.get();
 }
 
 }  // namespace abg::util

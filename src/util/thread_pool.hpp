@@ -1,14 +1,20 @@
-// Fixed-size thread pool used to parallelize bucket scoring (§4.4 of the
+// Work-stealing thread pool shared by the synthesis runtime (§4.4 of the
 // paper parallelizes the refinement loop across buckets with Ray; we use a
-// local pool instead).
+// local pool instead). One pool instance can serve many concurrent jobs:
+// submissions are spread round-robin over per-worker deques, owners pop
+// newest-first (cache-hot), and idle workers steal oldest-first from their
+// peers — so bucket-scoring tasks from several in-flight synthesis jobs
+// interleave instead of queueing behind one job's burst.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -23,9 +29,6 @@ namespace detail {
 void note_task_queued();
 }  // namespace detail
 
-// A minimal work-stealing-free thread pool. Tasks are arbitrary callables;
-// submit() returns a future for the callable's result. The pool joins all
-// workers on destruction after draining the queue.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
@@ -37,23 +40,69 @@ class ThreadPool {
   // Enqueue a task. Safe to call from multiple threads, including from
   // worker threads themselves (tasks must not block on futures of tasks
   // that cannot be scheduled, i.e. avoid nested blocking waits that exceed
-  // the worker count).
+  // the worker count; parallel_for is safe anywhere because the caller
+  // participates).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    detail::note_task_queued();
-    {
-      std::lock_guard lk(mu_);
-      queue_.push_back(Task{[task]() { (*task)(); }, std::chrono::steady_clock::now()});
-    }
-    cv_.notify_one();
+    enqueue([task]() { (*task)(); });
     return fut;
   }
 
   // Run fn(i) for i in [0, n) across the pool and wait for completion.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  //
+  // Templated on the callable, so the per-index hot path is a direct call —
+  // no per-index std::function construction, heap allocation, or futures.
+  // Indices are claimed from one shared atomic counter by at most
+  // min(n - 1, size()) queued helper tasks *and the calling thread itself*
+  // (caller-runs): the caller always makes progress even when every worker
+  // is busy with other jobs, so nested use can never deadlock the pool.
+  // The first exception thrown by any fn(i) is rethrown on the caller after
+  // all indices finish.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (n == 1) {
+      fn(std::size_t{0});
+      return;
+    }
+    struct Ctl {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::mutex mu;
+      std::condition_variable cv;
+      std::exception_ptr error;  // first failure, guarded by mu
+    };
+    auto ctl = std::make_shared<Ctl>();
+    // fn outlives the loop: the caller blocks below until done == n, and a
+    // helper that starts after that can only observe next >= n, so it never
+    // touches this pointer.
+    auto* f = std::addressof(fn);
+    const std::size_t total = n;
+    auto drain = [ctl, f, total] {
+      std::size_t i;
+      while ((i = ctl->next.fetch_add(1, std::memory_order_relaxed)) < total) {
+        try {
+          (*f)(i);
+        } catch (...) {
+          std::lock_guard lk(ctl->mu);
+          if (!ctl->error) ctl->error = std::current_exception();
+        }
+        if (ctl->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+          std::lock_guard lk(ctl->mu);
+          ctl->cv.notify_all();
+        }
+      }
+    };
+    const std::size_t helpers = std::min(n - 1, size());
+    for (std::size_t h = 0; h < helpers; ++h) enqueue(drain);
+    drain();
+    std::unique_lock lk(ctl->mu);
+    ctl->cv.wait(lk, [&] { return ctl->done.load(std::memory_order_acquire) >= total; });
+    if (ctl->error) std::rethrow_exception(ctl->error);
+  }
 
   std::size_t size() const { return workers_.size(); }
 
@@ -64,14 +113,29 @@ class ThreadPool {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
   };
+  // One deque per worker, individually locked: the owner pushes/pops at the
+  // back, thieves take from the front. External submissions round-robin
+  // across deques so no single worker becomes the bottleneck producer.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> deque;
+  };
 
-  void worker_loop();
+  void enqueue(std::function<void()> fn);
+  bool try_claim(std::size_t self, Task* out);
+  void worker_loop(std::size_t self);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool stop_ = false;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};  // round-robin submission cursor
+
+  // Sleep/wake machinery. pending_ counts enqueued-but-unclaimed tasks and
+  // is only modified under sleep_mu_, so a worker can never miss the wakeup
+  // for a task enqueued between its empty scan and its cv wait.
+  std::mutex sleep_mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
 };
 
 }  // namespace abg::util
