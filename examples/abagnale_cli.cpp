@@ -23,6 +23,9 @@
 //   --trace-out <t.json>     record Chrome trace-event spans (refinement
 //                            iterations, per-bucket scoring, pool tasks);
 //                            open the file in chrome://tracing or Perfetto
+//   --status-port <n>        serve live status over HTTP on 127.0.0.1:<n>
+//                            while the command runs: /metrics (Prometheus
+//                            text), /jobs (batch job states), /healthz
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +45,7 @@
 #include "net/simulator.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/status_server.hpp"
 #include "obs/trace_events.hpp"
 #include "synth/replay.hpp"
 #include "trace/trace_io.hpp"
@@ -68,6 +72,8 @@ int usage() {
                "  --repair-traces         drop/clamp malformed trace rows instead of failing\n"
                "  --metrics-out <m.json>  JSON run report: counters/gauges/histograms\n"
                "  --trace-out <t.json>    Chrome trace-event spans (chrome://tracing, Perfetto)\n"
+               "  --status-port <n>       live HTTP status on 127.0.0.1:<n> (0 = ephemeral):\n"
+               "                          /metrics (Prometheus), /jobs (batch), /healthz\n"
                "exit codes: 0 ok, 1 unknown, 2 usage, 3 parse, 4 invalid-trace, 5 timeout,\n"
                "            6 cancelled, 7 io, 8 numeric, 9 invalid-argument\n");
   return 2;
@@ -94,6 +100,37 @@ std::vector<trace::Trace> load_all(int argc, char** argv, int first) {
   }
   return traces;
 }
+
+// The /jobs provider behind the status server. The route is registered once
+// (before start()), but the Engine only exists while cmd_batch runs, so the
+// route reads through this swappable provider: empty job list outside a
+// batch, Engine::jobs_json() (lock-free) during one. The mutex guards only
+// the pointer swap, never the snapshot itself.
+std::mutex g_jobs_mu;
+std::function<std::string()> g_jobs_provider;
+
+std::string jobs_body() {
+  std::function<std::string()> provider;
+  {
+    std::lock_guard lk(g_jobs_mu);
+    provider = g_jobs_provider;
+  }
+  return provider ? provider() : std::string("{\"jobs\":[]}");
+}
+
+// Scoped installation, so the provider can never outlive the Engine it
+// captures (cmd_batch has early returns between Engine construction and
+// teardown).
+struct JobsProviderScope {
+  explicit JobsProviderScope(std::function<std::string()> fn) {
+    std::lock_guard lk(g_jobs_mu);
+    g_jobs_provider = std::move(fn);
+  }
+  ~JobsProviderScope() {
+    std::lock_guard lk(g_jobs_mu);
+    g_jobs_provider = nullptr;
+  }
+};
 
 // Exit code when a subcommand got no usable traces.
 int no_traces_rc() {
@@ -322,6 +359,21 @@ bool write_batch_report(const std::string& path, const api::Engine& engine,
     w.value(r->cache_misses);
     w.key("seconds");
     w.value(r->seconds);
+    // Per-iteration convergence series (ISSUE 5): plotting a paper-style
+    // search-progress curve needs only this report.
+    w.key("convergence");
+    w.begin_array();
+    for (const auto& p : r->convergence) {
+      w.begin_object();
+      w.key("iteration");
+      w.value(static_cast<std::int64_t>(p.iteration));
+      w.key("best_distance");
+      w.value(p.best_distance);
+      w.key("wall_ms");
+      w.value(p.wall_ms);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();
@@ -362,6 +414,7 @@ int cmd_batch(const char* manifest_path) {
 
   util::Stopwatch clock;
   api::Engine engine(manifest->engine);
+  JobsProviderScope jobs_provider([&engine] { return engine.jobs_json(); });
   std::printf("batch: %zu jobs on %zu threads (%zu concurrent, cache %s)\n", total,
               engine.options().threads, engine.options().max_concurrent_jobs,
               engine.options().share_eval_cache ? "shared" : "per-job");
@@ -405,6 +458,7 @@ int main(int argc, char** argv) {
   // Extract the observability flags first so every subcommand's own argv
   // parsing sees the command line it always did.
   std::string metrics_out, trace_out;
+  int status_port = -1;  // -1 = no status server
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -412,6 +466,12 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--status-port") == 0 && i + 1 < argc) {
+      double port = 0;
+      if (!parse_double_arg("--status-port", argv[++i], &port) || port < 0 || port > 65535) {
+        return usage();
+      }
+      status_port = static_cast<int>(port);
     } else if (std::strcmp(argv[i], "--repair-traces") == 0) {
       g_load_opts.repair = true;
     } else {
@@ -421,6 +481,21 @@ int main(int argc, char** argv) {
   const int nargs = static_cast<int>(args.size());
   if (nargs < 2) return usage();
   if (!trace_out.empty()) obs::set_tracing_enabled(true);
+
+  // The status server lives for the whole command; its /jobs route reads
+  // through the swappable provider that batch mode installs.
+  std::unique_ptr<obs::StatusServer> server;
+  if (status_port >= 0) {
+    server = std::make_unique<obs::StatusServer>();
+    server->handle("/jobs", "application/json", jobs_body);
+    std::string err;
+    if (!server->start(static_cast<std::uint16_t>(status_port), &err)) {
+      std::fprintf(stderr, "status server: %s\n", err.c_str());
+      return util::exit_code(util::StatusCode::kIoError);
+    }
+    std::printf("status: http://127.0.0.1:%u (/metrics /jobs /healthz)\n",
+                static_cast<unsigned>(server->port()));
+  }
 
   const std::string cmd = args[1];
   int rc = 2;

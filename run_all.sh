@@ -55,6 +55,25 @@ run_benches() {
 }
 run_stage "benchmarks" run_benches
 
+# Run-to-run perf gate: the DTW kernel alone (so the cells/evals ratio is
+# invariant to benchmark iteration counts) against the committed baseline.
+# A drifting ratio means the kernel started doing different work per eval —
+# abg_report exits 1 and the stage fails.
+perf_report() {
+  local tmp
+  tmp="$(mktemp -d)"
+  (cd "$tmp" && /root/repo/build/bench/bench_micro \
+      --benchmark_filter='^BM_Dtw/1024$' >/dev/null) || return $?
+  ./build/tools/abg_report BENCH_baseline.json "$tmp/bench_micro.metrics.json" \
+      --require distance.dtw_evals \
+      --gate-ratio distance.dtw_cells/distance.dtw_evals=2 \
+      2>&1 | tee /root/repo/perf_report.txt
+  local rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+run_stage "perf-report" perf_report
+
 # CLI smoke: collect a short trace and score the known handler against it,
 # so the Status-based I/O, validation, and exit-code plumbing all run end to
 # end on every recorded run.
@@ -97,7 +116,12 @@ batch_sweep() {
   ]
 }
 EOF
-  ./build/examples/abagnale_cli --batch "$tmp/sweep.json" 2>&1 | tee /root/repo/batch_output.txt
+  # --status-port 0 binds an ephemeral localhost port: the live endpoint is
+  # exercised (start, serve thread, clean shutdown) on every recorded run;
+  # the trace file records one Perfetto lane per job.
+  ./build/examples/abagnale_cli --batch "$tmp/sweep.json" \
+      --status-port 0 --trace-out /root/repo/batch_trace.json \
+      2>&1 | tee /root/repo/batch_output.txt
   local rc=$?
   # A manifest with an unknown key must be rejected with invalid-argument (9)
   # before any job runs.

@@ -1,9 +1,12 @@
 #include "api/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_events.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -30,6 +33,20 @@ struct JobInner {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+
+  // Live progress mirror (ISSUE 5): written by the driver thread once per
+  // refinement iteration with relaxed stores, read lock-free by
+  // Engine::jobs_snapshot(). Each field is independently atomic — a reader
+  // may see iteration N's count with iteration N-1's distance, which is fine
+  // for a monitoring surface; the authoritative record is JobResult.
+  struct Progress {
+    std::atomic<int> iterations{0};
+    std::atomic<double> best_distance{std::numeric_limits<double>::infinity()};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<double> elapsed_s{0.0};
+  };
+  Progress progress;
 };
 
 }  // namespace detail
@@ -128,6 +145,9 @@ util::Result<JobHandle> Engine::submit(JobSpec spec) {
     inner->result.kind = inner->spec.kind;
     queue_.push_back(inner);
     jobs_.push_back(inner);
+    // Republish the job list for the lock-free status readers. Copying the
+    // vector of shared_ptrs per submit is cheap next to a synthesis run.
+    published_jobs_.store(std::make_shared<const JobList>(jobs_), std::memory_order_release);
   }
   static auto& c_submitted = obs::counter("api.jobs_submitted");
   c_submitted.add();
@@ -167,6 +187,92 @@ std::size_t Engine::jobs_submitted() const {
   return submitted_;
 }
 
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+  }
+  return "unknown";
+}
+
+std::vector<JobSnapshot> Engine::jobs_snapshot() const {
+  const auto list = published_jobs_.load(std::memory_order_acquire);
+  std::vector<JobSnapshot> out;
+  if (!list) return out;
+  out.reserve(list->size());
+  for (const auto& j : *list) {
+    JobSnapshot s;
+    s.name = j->result.name;  // fixed at submit, immutable afterwards
+    s.state = j->state.load(std::memory_order_acquire);
+    s.planned_iterations = j->spec.pipeline.synth.max_iterations;
+    if (s.state == JobState::kDone) {
+      // The kDone release store publishes the finished JobResult.
+      const JobResult& r = j->result;
+      s.iterations = static_cast<int>(r.convergence.size());
+      if (!r.convergence.empty()) s.best_distance = r.convergence.back().best_distance;
+      if (r.kind == JobSpec::Kind::kPipeline && r.pipeline.found()) {
+        s.best_distance = r.pipeline.synthesis.best.distance;
+      }
+      s.cache_hits = r.cache_hits;
+      s.cache_misses = r.cache_misses;
+      s.elapsed_s = r.seconds;
+      s.found = r.found();
+      s.exit_class = r.exit_class();
+    } else if (s.state == JobState::kRunning) {
+      const auto& p = j->progress;
+      s.iterations = p.iterations.load(std::memory_order_relaxed);
+      s.best_distance = p.best_distance.load(std::memory_order_relaxed);
+      s.cache_hits = p.cache_hits.load(std::memory_order_relaxed);
+      s.cache_misses = p.cache_misses.load(std::memory_order_relaxed);
+      s.elapsed_s = p.elapsed_s.load(std::memory_order_relaxed);
+      if (s.iterations > 0 && s.planned_iterations > s.iterations && s.elapsed_s > 0) {
+        s.eta_s = s.elapsed_s / s.iterations * (s.planned_iterations - s.iterations);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Engine::jobs_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("jobs");
+  w.begin_array();
+  for (const auto& s : jobs_snapshot()) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("state");
+    w.value(job_state_name(s.state));
+    w.key("iterations");
+    w.value(static_cast<std::int64_t>(s.iterations));
+    w.key("planned_iterations");
+    w.value(static_cast<std::int64_t>(s.planned_iterations));
+    w.key("best_distance");
+    w.value(s.best_distance);  // +inf (no candidate yet) renders as null
+    w.key("cache_hits");
+    w.value(static_cast<std::uint64_t>(s.cache_hits));
+    w.key("cache_misses");
+    w.value(static_cast<std::uint64_t>(s.cache_misses));
+    w.key("cache_hit_rate");
+    w.value(s.cache_hit_rate());
+    w.key("elapsed_s");
+    w.value(s.elapsed_s);
+    w.key("eta_s");
+    w.value(s.eta_s);  // negative = unknown
+    w.key("found");
+    w.value(s.found);
+    w.key("exit_class");
+    w.value(static_cast<std::int64_t>(s.exit_class));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
 void Engine::driver_loop() {
   for (;;) {
     std::shared_ptr<detail::JobInner> job;
@@ -200,6 +306,13 @@ void Engine::driver_loop() {
 void Engine::run_job(detail::JobInner& job) {
   static auto& c_completed = obs::counter("api.jobs_completed");
   util::Stopwatch clock;
+  // Give the job its own trace lane: every span opened while this driver (or
+  // a pool worker running this job's stolen tasks) is inside the job carries
+  // the lane's pid, so the exported trace renders one Perfetto track per job
+  // instead of one interleaved process soup.
+  const std::uint32_t lane =
+      obs::tracing_enabled() ? obs::register_lane("job " + job.spec.name) : 0;
+  obs::ContextScope lane_scope(obs::SpanContext{lane, 0});
   obs::TraceSpan span("api.job " + job.spec.name, "api");
   JobResult& out = job.result;
 
@@ -211,7 +324,30 @@ void Engine::run_job(detail::JobInner& job) {
   popts.synth.shared_cache =
       (opts_.share_eval_cache && popts.synth.use_eval_cache) ? &cache_ : nullptr;
   popts.synth.cancel = &job.token;
-  popts.synth.on_iteration = job.spec.on_iteration;
+
+  // Labeled metric series for this run: {job=<name>[, cca=<dsl>]}. The synth
+  // layer appends the per-bucket label itself.
+  obs::Labels job_labels{{"job", job.spec.name}};
+  if (job.spec.custom_dsl) {
+    job_labels.emplace_back("cca", job.spec.custom_dsl->name);
+  } else if (popts.dsl_override) {
+    job_labels.emplace_back("cca", *popts.dsl_override);
+  }
+  popts.synth.obs_labels = job_labels;
+
+  // Interpose on the per-iteration stream to keep the lock-free progress
+  // mirror current, then forward to any caller-supplied callback. Runs on
+  // this driver thread, so `job` and `clock` comfortably outlive it.
+  const auto user_cb = job.spec.on_iteration;
+  popts.synth.on_iteration = [&job, &clock, user_cb](const synth::IterationReport& rep) {
+    auto& p = job.progress;
+    p.iterations.fetch_add(1, std::memory_order_relaxed);
+    p.best_distance.store(rep.best_distance, std::memory_order_relaxed);
+    p.cache_hits.store(rep.cache_hits, std::memory_order_relaxed);
+    p.cache_misses.store(rep.cache_misses, std::memory_order_relaxed);
+    p.elapsed_s.store(clock.elapsed_seconds(), std::memory_order_relaxed);
+    if (user_cb) user_cb(rep);
+  };
 
   // Assemble the input traces.
   std::vector<trace::Trace> traces;
@@ -248,6 +384,7 @@ void Engine::run_job(detail::JobInner& job) {
     out.mister880 = synth::mister880_synthesize(resolve_dsl(), segments, job.spec.mister880);
     out.status = util::Status::ok();
     out.seconds = clock.elapsed_seconds();
+    obs::gauge("api.job.seconds", job_labels).set(out.seconds);
     c_completed.add();
     return;
   }
@@ -273,6 +410,22 @@ void Engine::run_job(detail::JobInner& job) {
   out.cache_hits = out.pipeline.synthesis.cache_hits;
   out.cache_misses = out.pipeline.synthesis.cache_misses;
   out.seconds = clock.elapsed_seconds();
+
+  // Rebuild the convergence series from the recorded iteration reports
+  // rather than the streamed callbacks, so checkpoint-restored iterations
+  // (which are not replayed through on_iteration) are included and the
+  // series always matches the final SynthesisResult.
+  const auto& iters = out.pipeline.synthesis.iterations;
+  out.convergence.clear();
+  out.convergence.reserve(iters.size());
+  double wall_ms = 0.0;
+  for (std::size_t i = 0; i < iters.size(); ++i) {
+    wall_ms += iters[i].seconds * 1000.0;
+    out.convergence.push_back(
+        {static_cast<int>(i), iters[i].best_distance, wall_ms});
+  }
+
+  obs::gauge("api.job.seconds", job_labels).set(out.seconds);
   c_completed.add();
 }
 

@@ -23,7 +23,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +53,34 @@ struct EngineOptions {
 };
 
 enum class JobState { kQueued, kRunning, kDone };
+
+// "queued" / "running" / "done" — the /jobs JSON spelling.
+const char* job_state_name(JobState s);
+
+// Point-in-time view of one job for the live status surface (ISSUE 5).
+// Running jobs report the driver's relaxed-atomic progress mirror (updated
+// once per refinement iteration); done jobs report their final JobResult, so
+// a snapshot taken after wait_all() matches the results exactly.
+struct JobSnapshot {
+  std::string name;
+  JobState state = JobState::kQueued;
+  int iterations = 0;               // refinement iterations completed
+  int planned_iterations = 0;       // SynthesisOptions::max_iterations budget
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double elapsed_s = 0.0;
+  // Naive remaining-time estimate: elapsed/iterations × iterations left.
+  // Negative means unknown (queued, no iterations yet, or already done).
+  double eta_s = -1.0;
+  bool found = false;   // meaningful once state == kDone
+  int exit_class = 0;   // meaningful once state == kDone
+
+  double cache_hit_rate() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+};
 
 namespace detail {
 struct JobInner;
@@ -114,6 +144,14 @@ class Engine {
   synth::EvalCache& eval_cache() { return cache_; }
   std::size_t jobs_submitted() const;
 
+  // Live introspection (ISSUE 5). Both walk a copy-on-write published job
+  // list — submit() republishes the vector under mu_, readers load one
+  // shared_ptr and then touch only per-job atomics — so polling from the
+  // status endpoint never takes mu_ and never stalls a driver mid-job.
+  std::vector<JobSnapshot> jobs_snapshot() const;
+  // The /jobs endpoint body: {"jobs":[{name,state,iterations,...}, ...]}.
+  std::string jobs_json() const;
+
  private:
   void driver_loop();
   void run_job(detail::JobInner& job);
@@ -127,6 +165,10 @@ class Engine {
   std::condition_variable idle_cv_;  // a job finished (wait_all)
   std::deque<std::shared_ptr<detail::JobInner>> queue_;
   std::vector<std::shared_ptr<detail::JobInner>> jobs_;  // every submission
+  // Immutable snapshot of jobs_, republished on every submit; the lock-free
+  // read side of jobs_snapshot()/jobs_json().
+  using JobList = std::vector<std::shared_ptr<detail::JobInner>>;
+  std::atomic<std::shared_ptr<const JobList>> published_jobs_{};
   std::size_t active_ = 0;
   std::size_t submitted_ = 0;
   bool stop_ = false;

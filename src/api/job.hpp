@@ -132,6 +132,16 @@ struct JobSpec {
   util::Status validate() const;
 };
 
+// One point of a job's search-progress curve: the run's best distance after
+// `iteration` refinement iterations and the wall-clock spent in the loop up
+// to that point. Appended per completed iteration, so plotting Figure-3
+// style convergence needs only the run report (ISSUE 5).
+struct ConvergencePoint {
+  int iteration = 0;  // 0-based refinement iteration index
+  double best_distance = std::numeric_limits<double>::infinity();
+  double wall_ms = 0.0;
+};
+
 // Everything one finished job produced. `status` is the job-level outcome:
 // kOk for a completed search, the interrupt class for a preempted one
 // (mirroring SynthesisResult::status), or the load/validation error that
@@ -151,6 +161,12 @@ struct JobResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double seconds = 0.0;
+
+  // Per-iteration convergence series (kPipeline jobs; empty for kMister880
+  // and for jobs that failed before the loop). Rebuilt from the recorded
+  // IterationReports at job completion, so checkpoint-restored iterations
+  // are included too.
+  std::vector<ConvergencePoint> convergence;
 
   bool ok() const { return status.is_ok(); }
   // Found-a-handler convenience across both kinds.

@@ -1,0 +1,145 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace abg::obs {
+
+namespace {
+
+// Prometheus metric/label names allow [a-zA-Z0-9_:]; everything else (our
+// dotted names in particular) becomes '_'. A leading digit gets one too.
+std::string mangle(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Label values escape `\`, `"`, and newline per the exposition format.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// `{k1="v1",k2="v2"}` or "" when unlabeled; `extra` appends one more label
+// (the histogram `le`).
+std::string label_block(const Labels& labels, const std::string& extra_key = {},
+                        const std::string& extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += mangle(k) + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + escape_label_value(extra_val) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void type_line(std::string& out, const std::string& family, const char* type,
+               std::string& last_family) {
+  if (family == last_family) return;
+  last_family = family;
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& s) {
+  std::string out;
+  std::string last_family;
+
+  for (const auto& c : s.counters) {
+    const std::string family = "abg_" + mangle(c.name);
+    type_line(out, family, "counter", last_family);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, c.value);
+    out += family + label_block(c.labels) + " " + buf + "\n";
+  }
+
+  last_family.clear();
+  for (const auto& g : s.gauges) {
+    const std::string family = "abg_" + mangle(g.name);
+    type_line(out, family, "gauge", last_family);
+    out += family + label_block(g.labels) + " " + fmt_double(g.last) + "\n";
+  }
+  // The high-watermark series get their own families so the TYPE lines group.
+  last_family.clear();
+  for (const auto& g : s.gauges) {
+    const std::string family = "abg_" + mangle(g.name) + "_max";
+    type_line(out, family, "gauge", last_family);
+    out += family + label_block(g.labels) + " " + fmt_double(g.max) + "\n";
+  }
+
+  last_family.clear();
+  for (const auto& h : s.histograms) {
+    const std::string family = "abg_" + mangle(h.name);
+    type_line(out, family, "histogram", last_family);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, cumulative);
+      out += family + "_bucket" + label_block(h.labels, "le", fmt_double(h.bounds[i])) + " " +
+             buf + "\n";
+    }
+    {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, h.count);
+      out += family + "_bucket" + label_block(h.labels, "le", "+Inf") + " " + buf + "\n";
+      out += family + "_sum" + label_block(h.labels) + " " + fmt_double(h.sum) + "\n";
+      out += family + "_count" + label_block(h.labels) + " " + buf + "\n";
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text() { return prometheus_text(snapshot()); }
+
+bool write_prometheus_text(const std::string& path) {
+  const std::string body = prometheus_text();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace abg::obs

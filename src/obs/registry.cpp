@@ -30,15 +30,35 @@ void atomic_add(std::atomic<double>& target, double v) {
   }
 }
 
-// The registry itself: name -> handle maps behind one mutex. The mutex is
+// Canonical form: labels sorted by key (ties by value), capped at
+// kMaxLabelsPerSeries. Sorting makes {a=1,b=2} and {b=2,a=1} the same series.
+Labels normalize_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  if (labels.size() > kMaxLabelsPerSeries) labels.resize(kMaxLabelsPerSeries);
+  return labels;
+}
+
+const Labels& overflow_labels() {
+  static const Labels* l = new Labels{{"overflow", "true"}};
+  return *l;
+}
+
+// A series is (name, normalized labels); map ordering gives the name-major,
+// label-sorted snapshot order the exporters rely on.
+using SeriesKey = std::pair<std::string, Labels>;
+
+// The registry itself: series -> handle maps behind one mutex. The mutex is
 // only taken on registration/snapshot/reset, never on increment. Leaked on
 // purpose (never destroyed) so handles cached in function-local statics stay
 // valid through static destruction order.
 struct Registry {
   std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<SeriesKey, std::unique_ptr<Counter>> counters;
+  std::map<SeriesKey, std::unique_ptr<Gauge>> gauges;
+  std::map<SeriesKey, std::unique_ptr<Histogram>> histograms;
+  // Labeled-series count per family name, for the cardinality cap.
+  std::map<std::string, std::size_t> family_series;
 };
 
 Registry& registry() {
@@ -46,7 +66,59 @@ Registry& registry() {
   return *r;
 }
 
+// Find-or-create a series in `m`. When the family is at its cardinality cap,
+// new label sets collapse into the {overflow="true"} series; `overflowed`
+// reports that so the caller can bump obs.series_overflow after the registry
+// mutex is released (counter() re-enters the same mutex).
+template <typename T, typename Make>
+T& find_series(std::map<SeriesKey, std::unique_ptr<T>>& m, const std::string& name,
+               Labels labels, bool& overflowed, Make make) {
+  auto& r = registry();
+  labels = normalize_labels(std::move(labels));
+  std::lock_guard lk(r.mu);
+  auto it = m.find(SeriesKey{name, labels});
+  if (it != m.end()) return *it->second;
+  if (!labels.empty() && labels != overflow_labels() &&
+      r.family_series[name] >= kMaxSeriesPerFamily) {
+    overflowed = true;
+    auto& slot = m[SeriesKey{name, overflow_labels()}];
+    if (!slot) slot = make();
+    return *slot;
+  }
+  if (!labels.empty()) ++r.family_series[name];
+  auto& slot = m[SeriesKey{name, std::move(labels)}];
+  slot = make();
+  return *slot;
+}
+
 }  // namespace
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  // Canonicalize: the caller may pass labels in any order, but the text
+  // identity must be unique per series, exactly like the registry's own keys.
+  const Labels norm = normalize_labels(labels);
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : norm) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
 
 void Gauge::set(double v) {
   last_.store(v, std::memory_order_relaxed);
@@ -107,41 +179,53 @@ std::span<const double> default_time_bounds_us() {
   return kBounds;
 }
 
-Counter& counter(const std::string& name) {
-  auto& r = registry();
-  std::lock_guard lk(r.mu);
-  auto& slot = r.counters[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return *slot;
+Counter& counter(const std::string& name) { return counter(name, Labels{}); }
+
+Counter& counter(const std::string& name, const Labels& labels) {
+  bool overflowed = false;
+  Counter& c = find_series(registry().counters, name, labels, overflowed,
+                           [] { return std::make_unique<Counter>(); });
+  if (overflowed) counter("obs.series_overflow").add();
+  return c;
 }
 
-Gauge& gauge(const std::string& name) {
-  auto& r = registry();
-  std::lock_guard lk(r.mu);
-  auto& slot = r.gauges[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
+Gauge& gauge(const std::string& name) { return gauge(name, Labels{}); }
+
+Gauge& gauge(const std::string& name, const Labels& labels) {
+  bool overflowed = false;
+  Gauge& g = find_series(registry().gauges, name, labels, overflowed,
+                         [] { return std::make_unique<Gauge>(); });
+  if (overflowed) counter("obs.series_overflow").add();
+  return g;
 }
 
 Histogram& histogram(const std::string& name, std::span<const double> bounds) {
-  auto& r = registry();
-  std::lock_guard lk(r.mu);
-  auto& slot = r.histograms[name];
-  if (!slot) slot = std::make_unique<Histogram>(bounds);
-  return *slot;
+  return histogram(name, bounds, Labels{});
+}
+
+Histogram& histogram(const std::string& name, std::span<const double> bounds,
+                     const Labels& labels) {
+  bool overflowed = false;
+  Histogram& h = find_series(registry().histograms, name, labels, overflowed,
+                             [bounds] { return std::make_unique<Histogram>(bounds); });
+  if (overflowed) counter("obs.series_overflow").add();
+  return h;
 }
 
 Snapshot snapshot() {
   auto& r = registry();
   std::lock_guard lk(r.mu);
   Snapshot s;
-  for (const auto& [name, c] : r.counters) s.counters.emplace_back(name, c->value());
-  for (const auto& [name, g] : r.gauges) {
-    s.gauges.emplace_back(name, std::make_pair(g->last(), g->max()));
+  for (const auto& [key, c] : r.counters) {
+    s.counters.push_back(Snapshot::CounterData{key.first, key.second, c->value()});
   }
-  for (const auto& [name, h] : r.histograms) {
+  for (const auto& [key, g] : r.gauges) {
+    s.gauges.push_back(Snapshot::GaugeData{key.first, key.second, g->last(), g->max()});
+  }
+  for (const auto& [key, h] : r.histograms) {
     Snapshot::HistogramData d;
-    d.name = name;
+    d.name = key.first;
+    d.labels = key.second;
     d.bounds = h->bounds();
     d.counts = h->counts();
     d.count = h->count();
@@ -154,8 +238,13 @@ Snapshot snapshot() {
 }
 
 std::uint64_t Snapshot::counter_value(const std::string& name) const {
-  for (const auto& [n, v] : counters) {
-    if (n == name) return v;
+  return counter_value(name, Labels{});
+}
+
+std::uint64_t Snapshot::counter_value(const std::string& name, const Labels& labels) const {
+  const Labels norm = normalize_labels(labels);
+  for (const auto& c : counters) {
+    if (c.name == name && c.labels == norm) return c.value;
   }
   return 0;
 }
@@ -163,9 +252,9 @@ std::uint64_t Snapshot::counter_value(const std::string& name) const {
 void reset_all() {
   auto& r = registry();
   std::lock_guard lk(r.mu);
-  for (auto& [name, c] : r.counters) c->reset();
-  for (auto& [name, g] : r.gauges) g->reset();
-  for (auto& [name, h] : r.histograms) h->reset();
+  for (auto& [key, c] : r.counters) c->reset();
+  for (auto& [key, g] : r.gauges) g->reset();
+  for (auto& [key, h] : r.histograms) h->reset();
 }
 
 }  // namespace abg::obs

@@ -10,6 +10,20 @@
 // Registration (name lookup) takes a mutex; increments never do. Handles are
 // stable for the life of the process, so caching them in function-local
 // statics is safe from any thread.
+//
+// Labeled families: every metric kind can also be registered with a small
+// label set ({job=..., bucket=..., cca=...}), so a batch run attributes work
+// to individual jobs instead of one global soup. A labeled handle is the same
+// object type with the same increment cost — labels only participate in
+// registration and export. Unlabeled lookups are unchanged (empty label set).
+//
+//   static auto& c = obs::counter("synth.iterations", {{"job", spec.name}});
+//
+// Cardinality is bounded: at most kMaxLabelsPerSeries labels per series
+// (extras are dropped at registration), and at most kMaxSeriesPerFamily
+// distinct label sets per metric name — past that, new label sets collapse
+// into a single {overflow="true"} series and obs.series_overflow counts the
+// collisions, so an unbounded job stream can't OOM the registry.
 #pragma once
 
 #include <atomic>
@@ -17,9 +31,23 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace abg::obs {
+
+// One label: key -> value. A series is identified by (name, sorted labels).
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+// Cardinality limits (see the header comment).
+inline constexpr std::size_t kMaxLabelsPerSeries = 4;
+inline constexpr std::size_t kMaxSeriesPerFamily = 256;
+
+// Canonical text identity of a series: `name` when unlabeled, otherwise
+// `name{k1="v1",k2="v2"}` with keys in sorted order and values escaped.
+// Used as the JSON-report key and by the tests.
+std::string series_key(const std::string& name, const Labels& labels);
 
 // Monotonic event count. Relaxed atomic increments: safe from any thread,
 // imposes no ordering, never blocks.
@@ -35,7 +63,9 @@ class Counter {
 };
 
 // Last-written value plus a high-watermark (e.g. bottleneck queue depth:
-// `last` is the depth at the final sample, `max` the worst seen).
+// `last` is the depth at the final sample, `max` the worst seen). The
+// high-watermark is maintained with a CAS loop so concurrent writers can
+// never lose the true max to a plain-store race.
 class Gauge {
  public:
   void set(double v);
@@ -81,31 +111,54 @@ class Histogram {
 // Exponential microsecond edges (1us .. 60s), the default for phase timers.
 std::span<const double> default_time_bounds_us();
 
-// Registry lookups: find-or-create by name. A histogram's bounds are fixed by
-// the first registration; later lookups with different bounds get the
-// existing instance.
+// Registry lookups: find-or-create by (name, labels). A histogram's bounds
+// are fixed by the first registration of its family; later lookups with
+// different bounds get the existing instance.
 Counter& counter(const std::string& name);
+Counter& counter(const std::string& name, const Labels& labels);
 Gauge& gauge(const std::string& name);
+Gauge& gauge(const std::string& name, const Labels& labels);
 Histogram& histogram(const std::string& name,
                      std::span<const double> bounds = default_time_bounds_us());
+Histogram& histogram(const std::string& name, std::span<const double> bounds,
+                     const Labels& labels);
 
 // Point-in-time copy of every registered metric, for the exporters and tests.
+// Entries are ordered name-major (all series of a family are contiguous),
+// labels sorted by key within a series.
 struct Snapshot {
+  struct CounterData {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+    std::string key() const { return series_key(name, labels); }
+  };
+  struct GaugeData {
+    std::string name;
+    Labels labels;
+    double last = 0.0;
+    double max = 0.0;
+    std::string key() const { return series_key(name, labels); }
+  };
   struct HistogramData {
     std::string name;
+    Labels labels;
     std::vector<double> bounds;
     std::vector<std::uint64_t> counts;
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    std::string key() const { return series_key(name, labels); }
   };
-  std::vector<std::pair<std::string, std::uint64_t>> counters;      // sorted by name
-  std::vector<std::pair<std::string, std::pair<double, double>>> gauges;  // (last, max)
+  std::vector<CounterData> counters;
+  std::vector<GaugeData> gauges;
   std::vector<HistogramData> histograms;
 
-  // Counter value by exact name; 0 if absent.
+  // Unlabeled counter value by exact name; 0 if absent.
   std::uint64_t counter_value(const std::string& name) const;
+  // Labeled counter value; labels are matched after normalization.
+  std::uint64_t counter_value(const std::string& name, const Labels& labels) const;
 };
 
 Snapshot snapshot();

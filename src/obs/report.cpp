@@ -16,21 +16,21 @@ std::string metrics_json() {
 
   w.key("counters");
   w.begin_object();
-  for (const auto& [name, v] : s.counters) {
-    w.key(name);
-    w.value(v);
+  for (const auto& c : s.counters) {
+    w.key(c.key());
+    w.value(c.value);
   }
   w.end_object();
 
   w.key("gauges");
   w.begin_object();
-  for (const auto& [name, lv] : s.gauges) {
-    w.key(name);
+  for (const auto& g : s.gauges) {
+    w.key(g.key());
     w.begin_object();
     w.key("last");
-    w.value(lv.first);
+    w.value(g.last);
     w.key("max");
-    w.value(lv.second);
+    w.value(g.max);
     w.end_object();
   }
   w.end_object();
@@ -38,7 +38,7 @@ std::string metrics_json() {
   w.key("histograms");
   w.begin_object();
   for (const auto& h : s.histograms) {
-    w.key(h.name);
+    w.key(h.key());
     w.begin_object();
     w.key("bounds");
     w.begin_array();

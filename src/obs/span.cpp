@@ -1,0 +1,57 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/trace_events.hpp"
+
+namespace abg::obs {
+
+namespace {
+
+thread_local SpanContext t_ctx;
+
+// Process-wide span ids; 0 is reserved for "no span".
+std::atomic<std::uint64_t> g_next_span{1};
+
+}  // namespace
+
+SpanContext current_context() { return t_ctx; }
+
+ContextScope::ContextScope(SpanContext ctx) : prev_(t_ctx) { t_ctx = ctx; }
+
+ContextScope::~ContextScope() { t_ctx = prev_; }
+
+Span::Span(std::string name, const char* cat) : Span(std::move(name), cat, std::string{}) {}
+
+Span::Span(std::string name, const char* cat, std::string args_json)
+    : name_(std::move(name)),
+      args_json_(std::move(args_json)),
+      cat_(cat),
+      armed_(tracing_enabled()) {
+  if (!armed_) return;
+  const SpanContext enclosing = t_ctx;
+  lane_ = enclosing.lane;
+  parent_ = enclosing.span;
+  id_ = g_next_span.fetch_add(1, std::memory_order_relaxed);
+  t_ctx = SpanContext{lane_, id_};
+  start_us_ = trace_now_us();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  t_ctx = SpanContext{lane_, parent_};
+  // Merge {"span":id,"parent":id} with any user args into one object.
+  std::string args = "{\"span\":" + std::to_string(id_) +
+                     ",\"parent\":" + std::to_string(parent_);
+  if (args_json_.size() > 2) {  // non-empty object: splice past its '{'
+    args += ',';
+    args.append(args_json_, 1, std::string::npos);
+  } else {
+    args += '}';
+  }
+  trace_complete_event_on(lane_, std::move(name_), cat_, start_us_,
+                          trace_now_us() - start_us_, std::move(args));
+}
+
+}  // namespace abg::obs

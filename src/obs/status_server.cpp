@@ -1,0 +1,193 @@
+#include "obs/status_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/prometheus.hpp"
+
+namespace abg::obs {
+
+namespace {
+
+struct Route {
+  std::string content_type;
+  std::function<std::string()> body_fn;
+};
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(int code, const char* reason, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Read until the end of the request headers (we ignore any body; these are
+// GETs). Bounded: 8 KiB or 2 s, whichever comes first.
+bool read_request_head(int fd, std::string& head) {
+  char buf[1024];
+  for (int spins = 0; spins < 64 && head.size() < 8192; ++spins) {
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 2000);
+    if (pr <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+struct StatusServer::Impl {
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};  // self-pipe: stop() writes, server thread polls
+  std::thread thread;
+  std::map<std::string, Route> routes;
+
+  void serve_connection(int fd) {
+    std::string head;
+    if (!read_request_head(fd, head)) {
+      ::close(fd);
+      return;
+    }
+    // Request line: METHOD SP PATH SP VERSION. Strip any query string.
+    const std::size_t sp1 = head.find(' ');
+    const std::size_t sp2 = sp1 == std::string::npos ? sp1 : head.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+      ::close(fd);
+      return;
+    }
+    const std::string method = head.substr(0, sp1);
+    std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const auto q = path.find('?'); q != std::string::npos) path.resize(q);
+
+    std::string response;
+    if (method != "GET") {
+      response = make_response(405, "Method Not Allowed", "text/plain", "GET only\n");
+    } else if (const auto it = routes.find(path); it != routes.end()) {
+      response = make_response(200, "OK", it->second.content_type, it->second.body_fn());
+    } else {
+      response = make_response(404, "Not Found", "text/plain", "not found\n");
+    }
+    write_all(fd, response);
+    ::close(fd);
+  }
+
+  void run() {
+    for (;;) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_pipe[0], POLLIN, 0}};
+      const int pr = ::poll(fds, 2, -1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if ((fds[1].revents & POLLIN) != 0) return;  // stop() signalled
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      serve_connection(fd);
+    }
+  }
+};
+
+StatusServer::StatusServer() : impl_(new Impl) {
+  impl_->routes["/healthz"] = Route{"text/plain", [] { return std::string("ok\n"); }};
+  impl_->routes["/metrics"] = Route{"text/plain; version=0.0.4",
+                                    [] { return prometheus_text(); }};
+}
+
+StatusServer::~StatusServer() {
+  stop();
+  delete impl_;
+}
+
+void StatusServer::handle(std::string path, std::string content_type,
+                          std::function<std::string()> body_fn) {
+  impl_->routes[std::move(path)] = Route{std::move(content_type), std::move(body_fn)};
+}
+
+bool StatusServer::start(std::uint16_t port, std::string* err) {
+  auto fail = [&](const std::string& what) {
+    if (err != nullptr) *err = what + ": " + std::strerror(errno);
+    if (impl_->listen_fd >= 0) {
+      ::close(impl_->listen_fd);
+      impl_->listen_fd = -1;
+    }
+    for (int& fd : impl_->wake_pipe) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    return false;
+  };
+  if (running_) {
+    if (err != nullptr) *err = "already running";
+    return false;
+  }
+
+  impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local-only by design
+  addr.sin_port = htons(port);
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(impl_->listen_fd, 16) != 0) return fail("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(impl_->wake_pipe) != 0) return fail("pipe");
+
+  impl_->thread = std::thread([this] { impl_->run(); });
+  running_ = true;
+  return true;
+}
+
+void StatusServer::stop() {
+  if (!running_) return;
+  const char b = 0;
+  [[maybe_unused]] const ssize_t n = ::write(impl_->wake_pipe[1], &b, 1);
+  impl_->thread.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  for (int& fd : impl_->wake_pipe) {
+    ::close(fd);
+    fd = -1;
+  }
+  running_ = false;
+}
+
+}  // namespace abg::obs

@@ -1,0 +1,56 @@
+// Dependency-free embedded HTTP status listener. Serves GET requests on
+// 127.0.0.1 from one background thread:
+//
+//   /healthz   -> "ok"
+//   /metrics   -> Prometheus text exposition of the metrics registry
+//   <custom>   -> any provider registered with handle() (the CLI registers
+//                 /jobs with a JSON snapshot of Engine job states)
+//
+// Providers must be lock-free with respect to the workload they observe —
+// the server thread calls them inline, so a provider that grabbed a hot
+// driver lock would let a polling client stall synthesis. The built-in
+// /metrics route reads relaxed-atomic snapshots only.
+//
+// This sits in obs (below util), so errors surface as bool + message rather
+// than util::Status.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace abg::obs {
+
+class StatusServer {
+ public:
+  StatusServer();
+  ~StatusServer();  // stops and joins if running
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  // Register `body_fn` for an exact request path ("/jobs"). Must be called
+  // before start(). The function is invoked on the server thread per request.
+  void handle(std::string path, std::string content_type,
+              std::function<std::string()> body_fn);
+
+  // Bind 127.0.0.1:port (port 0 picks an ephemeral port, see port()) and
+  // start serving. False on failure with a human-readable reason in *err.
+  bool start(std::uint16_t port, std::string* err = nullptr);
+
+  // Stop accepting, close the socket, join the server thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+
+  // The actually-bound port (differs from the requested one for port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;       // pimpl keeps <sys/socket.h> out of the header
+  bool running_ = false;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace abg::obs

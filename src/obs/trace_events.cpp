@@ -19,6 +19,7 @@ struct Event {
   const char* ph;  // "X" (complete) or "i" (instant)
   double ts_us;
   double dur_us;
+  std::uint32_t pid;  // lane: 1 = process lane, 2+ = registered lanes
   std::uint32_t tid;
 };
 
@@ -26,6 +27,7 @@ struct Recorder {
   std::atomic<bool> enabled{false};
   std::mutex mu;
   std::vector<Event> events;
+  std::vector<std::string> lane_names;  // lane_names[i] -> pid 2 + i
   std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
   std::atomic<std::uint32_t> next_tid{1};
 };
@@ -43,10 +45,29 @@ std::uint32_t this_tid() {
   return tid;
 }
 
+// Lane 0 is shorthand for the default process lane (pid 1).
+std::uint32_t lane_pid(std::uint32_t lane) { return lane == 0 ? 1 : lane; }
+
 void append(Event e) {
   auto& r = recorder();
   std::lock_guard lk(r.mu);
   r.events.push_back(std::move(e));
+}
+
+void write_metadata_event(JsonWriter& w, std::uint32_t pid, const std::string& name) {
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(static_cast<std::uint64_t>(pid));
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value(name);
+  w.end_object();
+  w.end_object();
 }
 
 }  // namespace
@@ -63,21 +84,36 @@ double trace_now_us() {
       .count();
 }
 
+std::uint32_t register_lane(const std::string& name) {
+  auto& r = recorder();
+  std::lock_guard lk(r.mu);
+  r.lane_names.push_back(name);
+  return static_cast<std::uint32_t>(r.lane_names.size() + 1);  // first lane -> pid 2
+}
+
 void trace_complete_event(std::string name, const char* cat, double ts_us, double dur_us,
                           std::string args_json) {
-  append(Event{std::move(name), std::move(args_json), cat, "X", ts_us, dur_us, this_tid()});
+  trace_complete_event_on(current_context().lane, std::move(name), cat, ts_us, dur_us,
+                          std::move(args_json));
+}
+
+void trace_complete_event_on(std::uint32_t lane, std::string name, const char* cat,
+                             double ts_us, double dur_us, std::string args_json) {
+  append(Event{std::move(name), std::move(args_json), cat, "X", ts_us, dur_us,
+               lane_pid(lane), this_tid()});
 }
 
 void trace_instant_event(std::string name, const char* cat, std::string args_json) {
   if (!tracing_enabled()) return;
   append(Event{std::move(name), std::move(args_json), cat, "i", trace_now_us(), 0.0,
-               this_tid()});
+               lane_pid(current_context().lane), this_tid()});
 }
 
 void clear_trace_events() {
   auto& r = recorder();
   std::lock_guard lk(r.mu);
   r.events.clear();
+  r.lane_names.clear();
 }
 
 std::size_t trace_event_count() {
@@ -93,6 +129,14 @@ std::string trace_events_json() {
   w.begin_object();
   w.key("traceEvents");
   w.begin_array();
+  // Metadata first: name the process lane and every registered job lane so
+  // Perfetto shows labeled per-job tracks instead of bare pids.
+  if (!r.events.empty() || !r.lane_names.empty()) {
+    write_metadata_event(w, 1, "abagnale");
+  }
+  for (std::size_t i = 0; i < r.lane_names.size(); ++i) {
+    write_metadata_event(w, static_cast<std::uint32_t>(i + 2), r.lane_names[i]);
+  }
   for (const auto& e : r.events) {
     w.begin_object();
     w.key("name");
@@ -111,7 +155,7 @@ std::string trace_events_json() {
       w.value("t");
     }
     w.key("pid");
-    w.value(std::uint64_t{1});
+    w.value(static_cast<std::uint64_t>(e.pid));
     w.key("tid");
     w.value(static_cast<std::uint64_t>(e.tid));
     if (!e.args_json.empty()) {
@@ -135,24 +179,6 @@ bool write_trace_json(const std::string& path) {
   const bool ok = n == body.size() && std::fclose(f) == 0;
   if (n != body.size()) std::fclose(f);
   return ok;
-}
-
-TraceSpan::TraceSpan(std::string name, const char* cat)
-    : TraceSpan(std::move(name), cat, std::string{}) {}
-
-TraceSpan::TraceSpan(std::string name, const char* cat, std::string args_json)
-    : name_(std::move(name)),
-      args_json_(std::move(args_json)),
-      cat_(cat),
-      start_us_(0.0),
-      armed_(tracing_enabled()) {
-  if (armed_) start_us_ = trace_now_us();
-}
-
-TraceSpan::~TraceSpan() {
-  if (!armed_) return;
-  trace_complete_event(std::move(name_), cat_, start_us_, trace_now_us() - start_us_,
-                       std::move(args_json_));
 }
 
 }  // namespace abg::obs

@@ -6,12 +6,22 @@
 //   obs::set_tracing_enabled(true);
 //   { obs::TraceSpan span("score bucket reno", "synth"); ... }
 //   obs::write_trace_json("t.json");   // open in ui.perfetto.dev
+//
+// Events carry a lane (Perfetto pid): lane 0 / pid 1 is the process lane,
+// and obs::register_lane() (span.hpp) allocates additional named lanes so a
+// batch run renders one flame track per Engine job. The exporter synthesizes
+// process_name metadata events for every registered lane.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "obs/span.hpp"
+
 namespace abg::obs {
+
+// TraceSpan predates Span; it is the same type. New code should say Span.
+using TraceSpan = Span;
 
 // Arm/disarm span recording process-wide. Spans already open keep the state
 // they saw at construction.
@@ -21,16 +31,24 @@ bool tracing_enabled();
 // Microseconds since the recorder's epoch (process start), the `ts` clock.
 double trace_now_us();
 
-// Append one complete event. `cat` groups events in the viewer ("synth",
-// "pool", ...). args_json, when non-empty, must be a serialized JSON object
-// and is embedded verbatim as the event's "args".
+// Append one complete event on the calling thread's current lane. `cat`
+// groups events in the viewer ("synth", "pool", ...). args_json, when
+// non-empty, must be a serialized JSON object and is embedded verbatim as
+// the event's "args".
 void trace_complete_event(std::string name, const char* cat, double ts_us, double dur_us,
                           std::string args_json = {});
 
-// Append an instant event (ph="i"), a zero-duration marker.
+// Append one complete event on an explicit lane (0 = process lane). This is
+// what Span uses; prefer Span unless you are bridging foreign timing data.
+void trace_complete_event_on(std::uint32_t lane, std::string name, const char* cat,
+                             double ts_us, double dur_us, std::string args_json = {});
+
+// Append an instant event (ph="i"), a zero-duration marker, on the calling
+// thread's current lane.
 void trace_instant_event(std::string name, const char* cat, std::string args_json = {});
 
-// Drop all recorded events (tests; CLI between setup and the measured run).
+// Drop all recorded events and registered lanes (tests; CLI between setup
+// and the measured run).
 void clear_trace_events();
 
 std::size_t trace_event_count();
@@ -41,25 +59,5 @@ std::string trace_events_json();
 
 // Write trace_events_json() to `path`. False on I/O failure.
 bool write_trace_json(const std::string& path);
-
-// RAII complete-event span. Arms itself only if tracing was enabled at
-// construction; records on destruction.
-class TraceSpan {
- public:
-  TraceSpan(std::string name, const char* cat);
-  // With a pre-serialized JSON args object attached to the event.
-  TraceSpan(std::string name, const char* cat, std::string args_json);
-  ~TraceSpan();
-
-  TraceSpan(const TraceSpan&) = delete;
-  TraceSpan& operator=(const TraceSpan&) = delete;
-
- private:
-  std::string name_;
-  std::string args_json_;
-  const char* cat_;
-  double start_us_;
-  bool armed_;
-};
 
 }  // namespace abg::obs

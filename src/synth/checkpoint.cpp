@@ -154,9 +154,13 @@ util::Status save_checkpoint(const Checkpoint& ck, const std::string& path) {
   }
   line({"iterations", fmt_u64(ck.iterations.size())});
   for (const auto& it : ck.iterations) {
+    // The three trailing fields (best_distance, cumulative cache hits and
+    // misses) were appended after the format shipped; the reader tolerates
+    // their absence, so old checkpoints stay loadable.
     line({"iter", fmt_u64(static_cast<std::uint64_t>(it.n_target)),
           fmt_u64(static_cast<std::uint64_t>(it.keep)), fmt_u64(it.segments_used),
-          fmt_double(it.seconds), fmt_u64(it.buckets.size())});
+          fmt_double(it.seconds), fmt_u64(it.buckets.size()), fmt_double(it.best_distance),
+          fmt_u64(it.cache_hits), fmt_u64(it.cache_misses)});
     for (const auto& br : it.buckets) {
       line({"ib", br.label, fmt_double(br.score), fmt_u64(br.sketches_enumerated),
             fmt_u64(br.handlers_scored), br.exhausted ? "1" : "0", br.retained ? "1" : "0"});
@@ -304,6 +308,17 @@ util::Result<Checkpoint> load_checkpoint(const std::string& path) {
           !parse_size((*itf)[3], &rep.segments_used) ||
           !util::parse_double((*itf)[4], &rep.seconds) || !parse_size((*itf)[5], &nbuckets)) {
         return fail("bad iteration record");
+      }
+      // Convergence fields, appended in a later format revision: present in
+      // new checkpoints, silently defaulted for old ones.
+      if (itf->size() >= 9) {
+        std::size_t hits = 0, misses = 0;
+        if (!util::parse_double((*itf)[6], &rep.best_distance) ||
+            !parse_size((*itf)[7], &hits) || !parse_size((*itf)[8], &misses)) {
+          return fail("bad iteration convergence record");
+        }
+        rep.cache_hits = hits;
+        rep.cache_misses = misses;
       }
       for (std::size_t j = 0; j < nbuckets; ++j) {
         auto ibf = r.expect("ib", 7);

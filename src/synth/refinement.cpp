@@ -32,6 +32,10 @@ struct BucketState {
   std::size_t handlers_scored = 0;
   bool exhausted = false;
   util::Rng rng{0};
+  // Labeled {job=...,bucket=...} series, resolved on this bucket's first
+  // scoring pass (only when the run carries obs_labels) and cached here so
+  // the scoring path never re-enters the registry mutex.
+  obs::Counter* labeled_scored = nullptr;
 };
 
 std::uint64_t label_seed(const std::string& label, std::uint64_t seed) {
@@ -252,6 +256,12 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
                           const std::vector<trace::Segment>& working) {
     static auto& c_sketches = obs::counter("synth.sketches_enumerated");
     obs::TraceSpan span("score " + st.bucket.label, "synth");
+    if (!opts.obs_labels.empty() && st.labeled_scored == nullptr) {
+      obs::Labels labels = opts.obs_labels;
+      labels.emplace_back("bucket", st.bucket.label);
+      st.labeled_scored = &obs::counter("synth.handlers_scored", labels);
+    }
+    const std::size_t scored_before = st.handlers_scored;
     // A preempted run that already has a global best skips the remaining
     // buckets outright — building their enumerators just to honor the
     // one-sketch-minimum rule below would stretch the deadline by seconds.
@@ -291,6 +301,9 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       if (interrupted() && bucket_best.valid()) break;
     }
     st.best = bucket_best;
+    if (st.labeled_scored != nullptr) {
+      st.labeled_scored->add(st.handlers_scored - scored_before);
+    }
     if (bucket_best.valid()) {
       std::lock_guard lk(best_mu);
       if (bucket_best.distance < result.best.distance) result.best = bucket_best;
@@ -420,6 +433,15 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   static auto& c_iters = obs::counter("synth.iterations");
   static auto& h_iter = obs::histogram("synth.iter_us");
 
+  // Per-job labeled series (function-local statics would pin the first
+  // job's labels; these are resolved once per run instead).
+  obs::Counter* c_iters_job = nullptr;
+  obs::Gauge* g_best_job = nullptr;
+  if (!opts.obs_labels.empty()) {
+    c_iters_job = &obs::counter("synth.iterations", opts.obs_labels);
+    g_best_job = &obs::gauge("synth.best_distance", opts.obs_labels);
+  }
+
   for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
     if (live.empty()) break;
     // Injected-fault hook: ABG_FAULT_INJECT="cancel_after=N" fires here.
@@ -430,6 +452,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     }
     util::Stopwatch iter_clock;
     c_iters.add();
+    if (c_iters_job != nullptr) c_iters_job->add();
     obs::Timer iter_timer(h_iter);
     // One span per refinement iteration, with the loop's control variables
     // attached so a Perfetto view shows N/k/|working| shrinking.
@@ -492,6 +515,12 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       });
     }
     report.seconds = iter_clock.elapsed_seconds();
+    // Convergence point: the pool has joined, so result.best is settled for
+    // this iteration and the run tallies are quiescent.
+    report.best_distance = result.best.distance;
+    report.cache_hits = run_cache_hits.load(std::memory_order_relaxed);
+    report.cache_misses = run_cache_misses.load(std::memory_order_relaxed);
+    if (g_best_job != nullptr) g_best_job->set(report.best_distance);
     result.iterations.push_back(std::move(report));
     // Streamed progress for JobHandle subscribers; runs on this thread so
     // the callback may read the report without synchronization.

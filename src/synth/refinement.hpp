@@ -21,6 +21,7 @@
 #include "distance/distance.hpp"
 #include "dsl/dsl.hpp"
 #include "dsl/expr.hpp"
+#include "obs/registry.hpp"
 #include "synth/buckets.hpp"
 #include "synth/concretize.hpp"
 #include "synth/enumerator.hpp"
@@ -104,6 +105,14 @@ struct SynthesisOptions {
   // are not replayed). The report reference is valid only during the call.
   std::function<void(const IterationReport&)> on_iteration;
 
+  // --- Live introspection (ISSUE 5). When non-empty, the run additionally
+  // records labeled metric series carrying these labels (the engine passes
+  // {job=<name>, cca=<dsl>}): synth.iterations / synth.best_distance per
+  // run, and synth.handlers_scored with a `bucket` label appended per
+  // bucket. The unlabeled process-wide series keep counting regardless, so
+  // existing totals (and the double-accounting tests) are unaffected.
+  obs::Labels obs_labels;
+
   // Eager validation of every knob above; called by synthesize() and by
   // every api entry point. Returns kInvalidArgument naming the first bad
   // field, so misconfiguration fails before any work instead of late (a
@@ -135,6 +144,12 @@ struct IterationReport {
   std::size_t segments_used = 0;
   std::vector<BucketReport> buckets;  // sorted by ascending score
   double seconds = 0.0;
+  // Convergence point (ISSUE 5): the run's best distance after this
+  // iteration and the cumulative memo-cache traffic up to it, so a search-
+  // progress curve (paper Figure 3 style) falls out of the report series.
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::uint64_t cache_hits = 0;    // cumulative for the run, not per-iteration
+  std::uint64_t cache_misses = 0;
 };
 
 struct SynthesisResult {

@@ -7,6 +7,7 @@
 #include "dsl/eval.hpp"
 #include "obs/registry.hpp"
 #include "util/fault_injection.hpp"
+#include "util/log.hpp"
 
 namespace abg::synth {
 
@@ -34,6 +35,10 @@ std::vector<double> replay(const dsl::Expr& handler, const trace::Segment& segme
         // overflows must degrade, not propagate NaN into the distance layer.
         static auto& c_nonfinite = obs::counter("synth.nonfinite_cwnd");
         c_nonfinite.add();
+        ABG_WARN_EVERY_N(100000,
+                         "replay: candidate handler produced non-finite cwnd; holding "
+                         "previous window (%llu so far)",
+                         static_cast<unsigned long long>(c_nonfinite.value()));
       }
     }
     out.push_back(cwnd / mss);

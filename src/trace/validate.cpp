@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/registry.hpp"
+#include "util/log.hpp"
 
 namespace abg::trace {
 
@@ -111,11 +112,15 @@ util::Status validate_trace(Trace& t, const ValidateOptions& opts, ValidateStats
     }
     if (reason != nullptr) {
       if (!opts.repair) return Status(code, invalid(i, reason).message());
+      // Rate-limited: a thoroughly corrupted multi-MB trace would otherwise
+      // emit one warning per ACK row.
+      ABG_WARN_EVERY_N(1000, "repair: dropping sample %zu (%s)", i, reason);
       ++dropped;
       continue;
     }
     if (!clampable_fields_nonnegative(s)) {
       if (!opts.repair) return invalid(i, "negative byte/rate counter");
+      ABG_WARN_EVERY_N(1000, "repair: clamping negative byte/rate counter at sample %zu", i);
       clamp_fields(s);
       ++repaired;
     }

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 namespace abg::util {
@@ -87,6 +88,18 @@ namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
   std::lock_guard lk(g_mu);
   std::fprintf(stderr, "[abg %-5s] %s\n", level_name(level), msg.c_str());
+}
+
+bool should_log_every_n(std::atomic<std::uint64_t>& site_count, std::uint64_t n) {
+  const std::uint64_t seen = site_count.fetch_add(1, std::memory_order_relaxed);
+  return n == 0 || seen % n == 0;
+}
+
+bool should_log_once(const std::string& key) {
+  static std::mutex* mu = new std::mutex;  // leaked: usable during shutdown
+  static auto* seen = new std::unordered_set<std::string>;
+  std::lock_guard lk(*mu);
+  return seen->insert(key).second;
 }
 }  // namespace detail
 

@@ -6,6 +6,8 @@
 // integer 0-4 also works). set_log_level() overrides both.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 // Compile-time printf-format checking for the logging entry points: a
@@ -34,11 +36,41 @@ void logf(LogLevel level, const char* fmt, ...) ABG_PRINTF_FORMAT(2, 3);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);
-}
+
+// Rate-limiting predicates backing the macros below. should_log_every_n
+// bumps the per-call-site counter and is true on the 1st, n+1-th, 2n+1-th...
+// call; should_log_once is true only the first time `key` is seen
+// process-wide (later calls with the same key are dropped).
+bool should_log_every_n(std::atomic<std::uint64_t>& site_count, std::uint64_t n);
+bool should_log_once(const std::string& key);
+}  // namespace detail
 
 #define ABG_DEBUG(...) ::abg::util::logf(::abg::util::LogLevel::kDebug, __VA_ARGS__)
 #define ABG_INFO(...) ::abg::util::logf(::abg::util::LogLevel::kInfo, __VA_ARGS__)
 #define ABG_WARN(...) ::abg::util::logf(::abg::util::LogLevel::kWarn, __VA_ARGS__)
 #define ABG_ERROR(...) ::abg::util::logf(::abg::util::LogLevel::kError, __VA_ARGS__)
+
+// Rate-limited variants, for per-row/per-ACK diagnostics that would
+// otherwise flood stderr on large traces. ABG_LOG_EVERY_N logs the first
+// occurrence at this call site and then every n-th; the site counter is a
+// relaxed atomic, so suppressed calls cost one fetch_add.
+#define ABG_LOG_EVERY_N(level, n, ...)                                              \
+  do {                                                                              \
+    static ::std::atomic<::std::uint64_t> abg_logsite_count_{0};                    \
+    if (::abg::util::detail::should_log_every_n(abg_logsite_count_, (n))) {         \
+      ::abg::util::logf((level), __VA_ARGS__);                                      \
+    }                                                                               \
+  } while (0)
+#define ABG_WARN_EVERY_N(n, ...) \
+  ABG_LOG_EVERY_N(::abg::util::LogLevel::kWarn, (n), __VA_ARGS__)
+
+// Logs at most once per distinct runtime key (e.g. once per trace file),
+// process-wide.
+#define ABG_WARN_ONCE(key, ...)                                                     \
+  do {                                                                              \
+    if (::abg::util::detail::should_log_once(key)) {                                \
+      ::abg::util::logf(::abg::util::LogLevel::kWarn, __VA_ARGS__);                 \
+    }                                                                               \
+  } while (0)
 
 }  // namespace abg::util

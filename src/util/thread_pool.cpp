@@ -37,7 +37,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   detail::note_task_queued();
-  Task task{std::move(fn), std::chrono::steady_clock::now()};
+  Task task{std::move(fn), std::chrono::steady_clock::now(), obs::current_context()};
   const std::size_t victim =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
@@ -96,6 +96,10 @@ void ThreadPool::worker_loop(std::size_t self) {
                          std::chrono::steady_clock::now() - task.enqueued)
                          .count());
       c_executed.add();
+      // Install the submitter's context (stolen tasks included), then open
+      // the pool.task span inside it so it nests under the submitting span
+      // on the submitting job's lane.
+      obs::ContextScope scope(task.ctx);
       obs::TraceSpan span("pool.task", "pool");
       task.fn();
       continue;

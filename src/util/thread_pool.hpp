@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace abg::util {
 
 namespace detail {
@@ -108,10 +110,15 @@ class ThreadPool {
 
  private:
   // A queued callable plus its enqueue instant, so the worker can feed the
-  // pool.queue_wait_us histogram when it picks the task up.
+  // pool.queue_wait_us histogram when it picks the task up. The submitter's
+  // span context rides along explicitly: whichever worker claims the task —
+  // including a thief claiming it from another worker's deque — installs it
+  // for the duration of the task, so trace events attribute to the
+  // submitting job's lane rather than to whatever the worker ran last.
   struct Task {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    obs::SpanContext ctx;
   };
   // One deque per worker, individually locked: the owner pushes/pops at the
   // back, thieves take from the front. External submissions round-robin

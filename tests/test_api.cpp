@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -20,6 +22,7 @@
 
 #include "abg/abagnale.hpp"
 #include "net/simulator.hpp"
+#include "util/json_parse.hpp"
 
 namespace abg {
 namespace {
@@ -455,6 +458,95 @@ TEST(Engine, AutoNamesAndDestructorDrains) {
     EXPECT_EQ(engine.jobs_submitted(), 1u);
   }  // ~Engine waited for the job; no crash, no leak (ASan leg enforces)
   EXPECT_EQ(name, "job-1");
+}
+
+// --- Live introspection: jobs_snapshot / jobs_json / convergence series. ----
+
+TEST(EngineStatus, SnapshotMatchesFinalResultsAfterCompletion) {
+  const auto segs_reno = cca_segments("reno", 21);
+  const auto segs_cubic = cca_segments("cubic", 23);
+  api::Engine engine({.threads = 2, .max_concurrent_jobs = 1});
+  auto h1 = engine.submit(quick_job("reno", dsl::reno_dsl(), segs_reno));
+  auto h2 = engine.submit(quick_job("cubic", dsl::cubic_dsl(), segs_cubic));
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  const api::JobResult& r1 = h1->wait();
+  const api::JobResult& r2 = h2->wait();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+
+  const auto snaps = engine.jobs_snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  const api::JobResult* results[] = {&r1, &r2};
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const api::JobSnapshot& s = snaps[i];
+    const api::JobResult& r = *results[i];
+    EXPECT_EQ(s.name, r.name);
+    EXPECT_EQ(s.state, api::JobState::kDone);
+    EXPECT_EQ(static_cast<std::size_t>(s.iterations), r.convergence.size());
+    EXPECT_EQ(s.planned_iterations, quick_opts().max_iterations);
+    EXPECT_EQ(s.cache_hits, r.cache_hits);
+    EXPECT_EQ(s.cache_misses, r.cache_misses);
+    EXPECT_EQ(s.elapsed_s, r.seconds);
+    EXPECT_EQ(s.found, r.found());
+    EXPECT_EQ(s.exit_class, r.exit_class());
+    if (r.found()) {
+      EXPECT_EQ(s.best_distance, r.pipeline.synthesis.best.distance);
+    }
+    const double total = static_cast<double>(s.cache_hits + s.cache_misses);
+    if (total > 0) {
+      EXPECT_DOUBLE_EQ(s.cache_hit_rate(), static_cast<double>(s.cache_hits) / total);
+    }
+  }
+  EXPECT_STREQ(api::job_state_name(api::JobState::kDone), "done");
+}
+
+TEST(EngineStatus, JobsJsonIsValidAndMatchesSnapshot) {
+  const auto segs = cca_segments("reno", 21);
+  api::Engine engine({.threads = 2, .max_concurrent_jobs = 1});
+  auto h = engine.submit(quick_job("status-job", dsl::reno_dsl(), segs));
+  ASSERT_TRUE(h.ok());
+  const api::JobResult& r = h->wait();
+  ASSERT_TRUE(r.ok());
+
+  auto doc = util::parse_json(engine.jobs_json());
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  const util::JsonValue* jobs = doc->find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->items().size(), 1u);
+  const util::JsonValue& j = jobs->items()[0];
+  ASSERT_NE(j.find("name"), nullptr);
+  EXPECT_EQ(j.find("name")->as_string(), "status-job");
+  EXPECT_EQ(j.find("state")->as_string(), "done");
+  EXPECT_EQ(static_cast<std::size_t>(j.find("iterations")->as_int()), r.convergence.size());
+  EXPECT_EQ(static_cast<std::uint64_t>(j.find("cache_hits")->as_int()), r.cache_hits);
+  EXPECT_EQ(static_cast<std::uint64_t>(j.find("cache_misses")->as_int()), r.cache_misses);
+  EXPECT_EQ(j.find("found")->as_bool(), r.found());
+  EXPECT_EQ(j.find("exit_class")->as_int(), r.exit_class());
+  ASSERT_NE(j.find("eta_s"), nullptr);  // present even when done (-1 = n/a)
+}
+
+TEST(EngineStatus, ConvergenceSeriesTracksIterationReports) {
+  const auto segs = cca_segments("reno", 21);
+  api::Engine engine({.threads = 2, .max_concurrent_jobs = 1});
+  auto h = engine.submit(quick_job("conv", dsl::reno_dsl(), segs));
+  ASSERT_TRUE(h.ok());
+  const api::JobResult& r = h->wait();
+  ASSERT_TRUE(r.ok());
+
+  const auto& iters = r.pipeline.synthesis.iterations;
+  ASSERT_FALSE(r.convergence.empty());
+  ASSERT_EQ(r.convergence.size(), iters.size());
+  double prev_best = std::numeric_limits<double>::infinity();
+  double prev_wall = 0.0;
+  for (std::size_t i = 0; i < r.convergence.size(); ++i) {
+    const api::ConvergencePoint& p = r.convergence[i];
+    EXPECT_EQ(p.iteration, static_cast<int>(i));
+    EXPECT_EQ(p.best_distance, iters[i].best_distance);
+    // Best-so-far never regresses; cumulative wall time never runs backwards.
+    EXPECT_LE(p.best_distance, prev_best);
+    EXPECT_GE(p.wall_ms, prev_wall);
+    prev_best = p.best_distance;
+    prev_wall = p.wall_ms;
+  }
 }
 
 // --- Compatibility wrappers. ------------------------------------------------

@@ -6,13 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <array>
-#include <cctype>
 #include <chrono>
 #include <limits>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "json_checker.hpp"
 #include "net/simulator.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
@@ -25,131 +26,6 @@
 
 namespace abg {
 namespace {
-
-// ---- strict JSON parser (validation only) ---------------------------------
-// Small recursive-descent parser covering the full JSON grammar; used to
-// prove the exporters emit well-formed documents without pulling in a JSON
-// dependency.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view s) : s_(s) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool eof() const { return pos_ >= s_.size(); }
-  char peek() const { return s_[pos_]; }
-  bool eat(char c) {
-    if (eof() || s_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-  void skip_ws() {
-    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool literal(std::string_view word) {
-    if (s_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  bool string() {
-    if (!eat('"')) return false;
-    while (!eof() && peek() != '"') {
-      if (peek() == '\\') {
-        ++pos_;
-        if (eof()) return false;
-        const char e = peek();
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) return false;
-          }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
-                   e != 'r' && e != 't') {
-          return false;
-        }
-      } else if (static_cast<unsigned char>(peek()) < 0x20) {
-        return false;  // raw control character
-      }
-      ++pos_;
-    }
-    return eat('"');
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (!eof() && peek() == '-') ++pos_;
-    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
-    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    if (!eof() && peek() == '.') {
-      ++pos_;
-      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
-      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    if (!eof() && (peek() == 'e' || peek() == 'E')) {
-      ++pos_;
-      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
-      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
-      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool object() {
-    if (!eat('{')) return false;
-    skip_ws();
-    if (eat('}')) return true;
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (!eat(':')) return false;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (eat(',')) continue;
-      return eat('}');
-    }
-  }
-
-  bool array() {
-    if (!eat('[')) return false;
-    skip_ws();
-    if (eat(']')) return true;
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (eat(',')) continue;
-      return eat(']');
-    }
-  }
-
-  bool value() {
-    if (eof()) return false;
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
 
 // ---- registry primitives --------------------------------------------------
 
@@ -185,6 +61,95 @@ TEST(ObsGauge, TracksLastAndMax) {
   g.set(2.0);
   EXPECT_DOUBLE_EQ(g.last(), 2.0);
   EXPECT_DOUBLE_EQ(g.max(), 11.0);
+}
+
+// Satellite regression test (ISSUE 5): the high-watermark must be maintained
+// with a CAS loop. With a racy load-compare-store, two concurrent set()
+// calls can interleave so the larger value is overwritten and the true max
+// is lost; under contention from many threads each writing a distinct peak,
+// the recorded max must still be the global maximum.
+TEST(ObsGauge, ConcurrentSetNeverLosesMax) {
+  auto& g = obs::gauge("test.gauge_mt_max");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  for (int round = 0; round < 3; ++round) {
+    g.reset();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&g, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // Every thread writes an increasing sequence with a distinct
+          // offset; the global max over all writes is known exactly.
+          g.set(static_cast<double>(i * kThreads + t));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_DOUBLE_EQ(g.max(), static_cast<double>((kPerThread - 1) * kThreads + kThreads - 1));
+  }
+}
+
+// ---- labeled series -------------------------------------------------------
+
+TEST(ObsLabels, SeriesKeyRendersSortedAndEscaped) {
+  EXPECT_EQ(obs::series_key("m", {}), "m");
+  EXPECT_EQ(obs::series_key("m", {{"job", "reno"}}), "m{job=\"reno\"}");
+  // Keys sort, values escape.
+  EXPECT_EQ(obs::series_key("m", {{"z", "1"}, {"a", "x\"y"}}), "m{a=\"x\\\"y\",z=\"1\"}");
+}
+
+TEST(ObsLabels, LabeledSeriesAreIndependentOfUnlabeled) {
+  auto& plain = obs::counter("test.labeled_counter");
+  auto& reno = obs::counter("test.labeled_counter", {{"job", "reno"}});
+  auto& cubic = obs::counter("test.labeled_counter", {{"job", "cubic"}});
+  plain.reset();
+  reno.reset();
+  cubic.reset();
+  EXPECT_NE(&plain, &reno);
+  EXPECT_NE(&reno, &cubic);
+  plain.add(1);
+  reno.add(2);
+  cubic.add(3);
+  const auto s = obs::snapshot();
+  EXPECT_EQ(s.counter_value("test.labeled_counter"), 1u);
+  EXPECT_EQ(s.counter_value("test.labeled_counter", {{"job", "reno"}}), 2u);
+  EXPECT_EQ(s.counter_value("test.labeled_counter", {{"job", "cubic"}}), 3u);
+}
+
+TEST(ObsLabels, LabelOrderDoesNotSplitSeries) {
+  auto& a = obs::counter("test.label_order", {{"job", "x"}, {"bucket", "b0"}});
+  auto& b = obs::counter("test.label_order", {{"bucket", "b0"}, {"job", "x"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsLabels, FamilyCardinalityCapCollapsesIntoOverflowSeries) {
+  obs::counter("obs.series_overflow").reset();
+  // Register far more label sets than one family may hold. The first
+  // kMaxSeriesPerFamily are distinct; the rest all resolve to the single
+  // {overflow="true"} series.
+  auto& first = obs::counter("test.cap_family", {{"job", "job-0"}});
+  first.reset();
+  obs::Counter* overflow_series = nullptr;
+  for (std::size_t i = 1; i < obs::kMaxSeriesPerFamily + 50; ++i) {
+    auto& c = obs::counter("test.cap_family", {{"job", "job-" + std::to_string(i)}});
+    c.add();
+    overflow_series = &c;  // the final lookups are all the overflow series
+  }
+  auto& direct_overflow = obs::counter("test.cap_family", {{"overflow", "true"}});
+  EXPECT_EQ(overflow_series, &direct_overflow);
+  EXPECT_GE(obs::counter("obs.series_overflow").value(), 50u);
+  // The overflow series absorbed every post-cap increment.
+  EXPECT_GE(direct_overflow.value(), 50u);
+}
+
+TEST(ObsLabels, ExcessLabelsPerSeriesAreDropped) {
+  obs::Labels many;
+  for (int i = 0; i < 8; ++i) {
+    many.emplace_back("k" + std::to_string(i), "v");
+  }
+  auto& c = obs::counter("test.label_trunc", many);
+  obs::Labels first_four(many.begin(), many.begin() + obs::kMaxLabelsPerSeries);
+  EXPECT_EQ(&c, &obs::counter("test.label_trunc", first_four));
 }
 
 TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperEdges) {
@@ -253,10 +218,10 @@ TEST(ObsRegistry, ResetAllZeroesEverything) {
   obs::reset_all();
   const auto s = obs::snapshot();
   EXPECT_EQ(s.counter_value("test.reset_me"), 0u);
-  for (const auto& [name, lv] : s.gauges) {
-    if (name == "test.reset_gauge") {
-      EXPECT_DOUBLE_EQ(lv.first, 0.0);
-      EXPECT_DOUBLE_EQ(lv.second, 0.0);
+  for (const auto& g : s.gauges) {
+    if (g.name == "test.reset_gauge") {
+      EXPECT_DOUBLE_EQ(g.last, 0.0);
+      EXPECT_DOUBLE_EQ(g.max, 0.0);
     }
   }
   for (const auto& h : s.histograms) {
@@ -311,7 +276,11 @@ TEST(ObsTraceEvents, SpansRoundTripThroughParser) {
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
-  EXPECT_NE(json.find("\"args\":{\"iter\":1}"), std::string::npos);
+  // User args survive the span-id merge (every span's args now lead with its
+  // own id and its parent's; see test_spans.cpp for the id semantics).
+  EXPECT_NE(json.find("\"iter\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos) << json;
   obs::clear_trace_events();
 }
 

@@ -1,0 +1,285 @@
+// abg_report — run-to-run regression reports over obs metrics JSON (ISSUE 5).
+//
+// Compares two metrics reports (obs::metrics_json() output, or any document
+// embedding one under a top-level "metrics" member, e.g. a batch report) and
+// gates selected series against configurable thresholds:
+//
+//   abg_report baseline.json current.json
+//       --require distance.dtw_evals
+//       --gate 'synth.*=10'
+//       --gate-ratio distance.dtw_cells/distance.dtw_evals=2
+//
+// Metrics are flattened to scalar series first: counters keep their name,
+// gauges contribute <name>.last and <name>.max, histograms contribute
+// <name>.count, <name>.sum and <name>.mean. Labeled series keep their
+// rendered key (name{k="v"}).
+//
+// Gate semantics (regressions fail, improvements pass):
+//   --gate NAME[=PCT]       breach when current > baseline by more than PCT%
+//                           (default 5). A trailing '*' prefix-matches every
+//                           series present in either report. A zero baseline
+//                           breaches on any nonzero current (there is no
+//                           percentage to grow by).
+//   --gate-ratio A/B[=PCT]  breach when current(A)/current(B) drifts more
+//                           than PCT% from the baseline ratio, in either
+//                           direction. This is the stable way to gate work
+//                           counters whose absolute values scale with
+//                           benchmark iteration counts.
+//   --require NAME          breach when NAME is missing from the current
+//                           report (a silently vanished series usually means
+//                           an instrumentation regression, not an optimization).
+//
+// Exit: 0 all gates clean, 1 at least one breach, otherwise the usual error
+// classes (3 parse, 7 io, 9 bad arguments).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_parse.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using abg::util::JsonValue;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: abg_report <baseline.json> <current.json> [options]\n"
+               "  --gate NAME[=PCT]       fail when current exceeds baseline by > PCT%% "
+               "(default 5; trailing '*' = prefix)\n"
+               "  --gate-ratio A/B[=PCT]  fail when the A/B ratio drifts > PCT%% from baseline\n"
+               "  --require NAME          fail when NAME is absent from current\n"
+               "  --list                  print the flattened series of both reports\n");
+  return abg::util::exit_code(abg::util::StatusCode::kInvalidArgument);
+}
+
+// Flattened view: metric series name -> scalar value.
+using Flat = std::map<std::string, double>;
+
+// Descend into a "metrics" member when the document is a wrapper (batch
+// report); otherwise treat the document itself as the metrics object.
+const JsonValue* metrics_root(const JsonValue& doc) {
+  if (const JsonValue* m = doc.find("metrics"); m && m->find("counters")) return m;
+  return doc.find("counters") ? &doc : nullptr;
+}
+
+bool flatten(const JsonValue& doc, Flat* out, std::string* err) {
+  const JsonValue* root = metrics_root(doc);
+  if (root == nullptr) {
+    *err = "no metrics object found (expected a top-level \"counters\" or \"metrics\")";
+    return false;
+  }
+  if (const JsonValue* counters = root->find("counters")) {
+    for (const auto& [name, v] : counters->members()) {
+      if (v.is_number()) (*out)[name] = v.as_double();
+    }
+  }
+  if (const JsonValue* gauges = root->find("gauges")) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (const JsonValue* last = v.find("last"); last && last->is_number()) {
+        (*out)[name + ".last"] = last->as_double();
+      }
+      if (const JsonValue* max = v.find("max"); max && max->is_number()) {
+        (*out)[name + ".max"] = max->as_double();
+      }
+    }
+  }
+  if (const JsonValue* hists = root->find("histograms")) {
+    for (const auto& [name, v] : hists->members()) {
+      const JsonValue* count = v.find("count");
+      const JsonValue* sum = v.find("sum");
+      if (count && count->is_number()) (*out)[name + ".count"] = count->as_double();
+      if (sum && sum->is_number()) (*out)[name + ".sum"] = sum->as_double();
+      if (count && sum && count->is_number() && sum->is_number() && count->as_double() > 0) {
+        (*out)[name + ".mean"] = sum->as_double() / count->as_double();
+      }
+    }
+  }
+  return true;
+}
+
+struct Gate {
+  std::string pattern;  // exact name, or prefix when trailing '*'
+  double pct = 5.0;
+};
+
+struct RatioGate {
+  std::string num, den;
+  double pct = 5.0;
+};
+
+// Split "NAME[=PCT]"; false on a malformed percentage.
+bool split_threshold(const std::string& arg, std::string* name, double* pct) {
+  const std::size_t eq = arg.rfind('=');
+  if (eq == std::string::npos) {
+    *name = arg;
+    return !name->empty();
+  }
+  char* end = nullptr;
+  const std::string num = arg.substr(eq + 1);
+  const double v = std::strtod(num.c_str(), &end);
+  if (num.empty() || end == nullptr || *end != '\0' || !(v >= 0)) return false;
+  *name = arg.substr(0, eq);
+  *pct = v;
+  return !name->empty();
+}
+
+bool matches(const std::string& pattern, const std::string& name) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.compare(0, pattern.size() - 1, pattern, 0, pattern.size() - 1) == 0;
+  }
+  return name == pattern;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<Gate> gates;
+  std::vector<RatioGate> ratio_gates;
+  std::vector<std::string> required;
+  bool list = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--list") {
+      list = true;
+    } else if (flag == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else if (flag == "--gate" && i + 1 < argc) {
+      Gate g;
+      if (!split_threshold(argv[++i], &g.pattern, &g.pct)) return usage();
+      gates.push_back(std::move(g));
+    } else if (flag == "--gate-ratio" && i + 1 < argc) {
+      RatioGate g;
+      std::string spec;
+      if (!split_threshold(argv[++i], &spec, &g.pct)) return usage();
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) return usage();
+      g.num = spec.substr(0, slash);
+      g.den = spec.substr(slash + 1);
+      ratio_gates.push_back(std::move(g));
+    } else {
+      return usage();
+    }
+  }
+
+  Flat base, cur;
+  for (const auto& [path, flat] : {std::pair{argv[1], &base}, std::pair{argv[2], &cur}}) {
+    auto doc = abg::util::load_json(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "abg_report: %s\n", doc.status().to_string().c_str());
+      return abg::util::exit_code(doc.status().code());
+    }
+    std::string err;
+    if (!flatten(*doc, flat, &err)) {
+      std::fprintf(stderr, "abg_report: %s: %s\n", path, err.c_str());
+      return abg::util::exit_code(abg::util::StatusCode::kParseError);
+    }
+  }
+
+  if (list) {
+    for (const auto& [name, v] : cur) {
+      const auto it = base.find(name);
+      std::printf("%-48s %.17g", name.c_str(), v);
+      if (it != base.end()) std::printf("  (baseline %.17g)", it->second);
+      std::printf("\n");
+    }
+  }
+
+  int checked = 0;
+  int breaches = 0;
+  auto breach = [&breaches](const char* fmt, auto... args) {
+    std::printf("BREACH ");
+    std::printf(fmt, args...);
+    std::printf("\n");
+    ++breaches;
+  };
+
+  for (const auto& name : required) {
+    ++checked;
+    if (cur.count(name) == 0) {
+      breach("%s: required series missing from current report", name.c_str());
+    } else {
+      std::printf("ok     %s: present (%.17g)\n", name.c_str(), cur.at(name));
+    }
+  }
+
+  for (const auto& g : gates) {
+    // Walk the union of both reports so a series that newly appeared (or
+    // vanished) under a wildcard is still surfaced.
+    std::map<std::string, char> names;
+    for (const auto& [n, _] : base) {
+      if (matches(g.pattern, n)) names[n] |= 1;
+    }
+    for (const auto& [n, _] : cur) {
+      if (matches(g.pattern, n)) names[n] |= 2;
+    }
+    if (names.empty()) {
+      breach("--gate %s matched no series in either report", g.pattern.c_str());
+      ++checked;
+      continue;
+    }
+    for (const auto& [name, where] : names) {
+      ++checked;
+      if (where == 1) {
+        breach("%s: present in baseline, missing from current", name.c_str());
+        continue;
+      }
+      if (where == 2) {
+        // New series can't regress against anything; report informationally.
+        std::printf("ok     %s: new series (no baseline), %.17g\n", name.c_str(), cur.at(name));
+        continue;
+      }
+      const double b = base.at(name);
+      const double c = cur.at(name);
+      if (b == 0) {
+        if (c != 0) {
+          breach("%s: baseline 0 -> %.17g", name.c_str(), c);
+        } else {
+          std::printf("ok     %s: 0 -> 0\n", name.c_str());
+        }
+        continue;
+      }
+      const double growth_pct = (c - b) / b * 100.0;
+      if (growth_pct > g.pct) {
+        breach("%s: %.17g -> %.17g (%+.2f%%, limit +%.2f%%)", name.c_str(), b, c, growth_pct,
+               g.pct);
+      } else {
+        std::printf("ok     %s: %.17g -> %.17g (%+.2f%%, limit +%.2f%%)\n", name.c_str(), b, c,
+                    growth_pct, g.pct);
+      }
+    }
+  }
+
+  for (const auto& g : ratio_gates) {
+    ++checked;
+    const std::string label = g.num + "/" + g.den;
+    const bool have = base.count(g.num) && base.count(g.den) && cur.count(g.num) &&
+                      cur.count(g.den);
+    if (!have) {
+      breach("%s: series missing from one of the reports", label.c_str());
+      continue;
+    }
+    if (base.at(g.den) == 0 || cur.at(g.den) == 0) {
+      breach("%s: zero denominator", label.c_str());
+      continue;
+    }
+    const double rb = base.at(g.num) / base.at(g.den);
+    const double rc = cur.at(g.num) / cur.at(g.den);
+    const double drift_pct = (rc - rb) / rb * 100.0;
+    if (std::fabs(drift_pct) > g.pct) {
+      breach("%s: ratio %.6g -> %.6g (%+.2f%%, limit ±%.2f%%)", label.c_str(), rb, rc, drift_pct,
+             g.pct);
+    } else {
+      std::printf("ok     %s: ratio %.6g -> %.6g (%+.2f%%, limit ±%.2f%%)\n", label.c_str(), rb,
+                  rc, drift_pct, g.pct);
+    }
+  }
+
+  std::printf("abg_report: %d gate%s checked, %d breach%s\n", checked, checked == 1 ? "" : "s",
+              breaches, breaches == 1 ? "" : "es");
+  return breaches > 0 ? 1 : 0;
+}
