@@ -104,18 +104,18 @@ std::vector<trace::Trace> load_all(int argc, char** argv, int first) {
 // The /jobs provider behind the status server. The route is registered once
 // (before start()), but the Engine only exists while cmd_batch runs, so the
 // route reads through this swappable provider: empty job list outside a
-// batch, Engine::jobs_json() (lock-free) during one. The mutex guards only
-// the pointer swap, never the snapshot itself.
+// batch, Engine::jobs_json() (lock-free) during one. The provider is invoked
+// while g_jobs_mu is held: that makes ~JobsProviderScope block until any
+// in-flight /jobs call drains, so the provider can never run against an
+// Engine that cmd_batch has already destroyed. The call is a lock-free
+// snapshot and the lock is only otherwise touched by the scope ctor/dtor,
+// so holding it across the call is cheap.
 std::mutex g_jobs_mu;
 std::function<std::string()> g_jobs_provider;
 
 std::string jobs_body() {
-  std::function<std::string()> provider;
-  {
-    std::lock_guard lk(g_jobs_mu);
-    provider = g_jobs_provider;
-  }
-  return provider ? provider() : std::string("{\"jobs\":[]}");
+  std::lock_guard lk(g_jobs_mu);
+  return g_jobs_provider ? g_jobs_provider() : std::string("{\"jobs\":[]}");
 }
 
 // Scoped installation, so the provider can never outlive the Engine it

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "obs/registry.hpp"
 
@@ -79,14 +80,35 @@ void type_line(std::string& out, const std::string& family, const char* type,
   out += "# TYPE " + family + " " + type + "\n";
 }
 
+// Post-mangle collision guard. Distinct registry names can mangle to one
+// family ("a.b" and "a_b" both become "abg_a_b"), and the synthesized gauge
+// high-watermark family "abg_<name>_max" can collide with an explicitly
+// registered "<name>_max"; either would emit duplicate # TYPE lines and
+// duplicate series for one family, which strict parsers reject. Each family
+// name is reserved by the first source that renders it; a later source whose
+// mangled name collides gets a deterministic "_dupN" suffix instead.
+struct FamilyTable {
+  std::map<std::string, std::string> owner;  // family name -> source key
+
+  std::string resolve(const std::string& base, const std::string& source) {
+    std::string family = base;
+    for (int n = 2;; ++n) {
+      const auto [it, inserted] = owner.emplace(family, source);
+      if (inserted || it->second == source) return family;
+      family = base + "_dup" + std::to_string(n);
+    }
+  }
+};
+
 }  // namespace
 
 std::string prometheus_text(const Snapshot& s) {
   std::string out;
   std::string last_family;
+  FamilyTable families;
 
   for (const auto& c : s.counters) {
-    const std::string family = "abg_" + mangle(c.name);
+    const std::string family = families.resolve("abg_" + mangle(c.name), "counter:" + c.name);
     type_line(out, family, "counter", last_family);
     char buf[32];
     std::snprintf(buf, sizeof buf, "%" PRIu64, c.value);
@@ -95,21 +117,22 @@ std::string prometheus_text(const Snapshot& s) {
 
   last_family.clear();
   for (const auto& g : s.gauges) {
-    const std::string family = "abg_" + mangle(g.name);
+    const std::string family = families.resolve("abg_" + mangle(g.name), "gauge:" + g.name);
     type_line(out, family, "gauge", last_family);
     out += family + label_block(g.labels) + " " + fmt_double(g.last) + "\n";
   }
   // The high-watermark series get their own families so the TYPE lines group.
   last_family.clear();
   for (const auto& g : s.gauges) {
-    const std::string family = "abg_" + mangle(g.name) + "_max";
+    const std::string family =
+        families.resolve("abg_" + mangle(g.name) + "_max", "gauge_max:" + g.name);
     type_line(out, family, "gauge", last_family);
     out += family + label_block(g.labels) + " " + fmt_double(g.max) + "\n";
   }
 
   last_family.clear();
   for (const auto& h : s.histograms) {
-    const std::string family = "abg_" + mangle(h.name);
+    const std::string family = families.resolve("abg_" + mangle(h.name), "hist:" + h.name);
     type_line(out, family, "histogram", last_family);
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {

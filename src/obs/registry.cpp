@@ -30,11 +30,16 @@ void atomic_add(std::atomic<double>& target, double v) {
   }
 }
 
-// Canonical form: labels sorted by key (ties by value), capped at
-// kMaxLabelsPerSeries. Sorting makes {a=1,b=2} and {b=2,a=1} the same series.
+// Canonical form: labels sorted by key (ties by value), deduped by key, and
+// capped at kMaxLabelsPerSeries. Sorting makes {a=1,b=2} and {b=2,a=1} the
+// same series; deduping by key (first value wins, i.e. the smallest after the
+// sort) keeps a repeated key like {job=a,job=b} from reaching the exporters,
+// where a repeated label name is invalid exposition output.
 Labels normalize_labels(Labels labels) {
   std::sort(labels.begin(), labels.end());
-  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end(),
+                           [](const auto& a, const auto& b) { return a.first == b.first; }),
+               labels.end());
   if (labels.size() > kMaxLabelsPerSeries) labels.resize(kMaxLabelsPerSeries);
   return labels;
 }

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <thread>
@@ -44,12 +45,20 @@ std::string make_response(int code, const char* reason, const std::string& conte
 }
 
 // Read until the end of the request headers (we ignore any body; these are
-// GETs). Bounded: 8 KiB or 2 s, whichever comes first.
+// GETs). Bounded: 8 KiB or 2 s total from accept, whichever comes first. The
+// overall deadline matters because connections are served serially on one
+// thread: a client that trickles bytes must not hold up other pollers (or
+// stop()) for longer than the single 2 s budget.
 bool read_request_head(int fd, std::string& head) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::seconds(2);
   char buf[1024];
-  for (int spins = 0; spins < 64 && head.size() < 8192; ++spins) {
+  while (head.size() < 8192) {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - clock::now());
+    if (left.count() <= 0) return false;
     pollfd p{fd, POLLIN, 0};
-    const int pr = ::poll(&p, 1, 2000);
+    const int pr = ::poll(&p, 1, static_cast<int>(left.count()));
     if (pr <= 0) return false;
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) return false;

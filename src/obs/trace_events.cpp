@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -27,7 +28,11 @@ struct Recorder {
   std::atomic<bool> enabled{false};
   std::mutex mu;
   std::vector<Event> events;
-  std::vector<std::string> lane_names;  // lane_names[i] -> pid 2 + i
+  std::map<std::uint32_t, std::string> lane_names;  // pid -> name
+  // Monotonic, never reset: a lane id handed out before clear_trace_events()
+  // (e.g. held by a job mid-run) must never alias a lane registered after the
+  // clear, or its events would be attributed to the wrong lane.
+  std::uint32_t next_lane_pid = 2;  // pid 1 is the process lane
   std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
   std::atomic<std::uint32_t> next_tid{1};
 };
@@ -87,8 +92,9 @@ double trace_now_us() {
 std::uint32_t register_lane(const std::string& name) {
   auto& r = recorder();
   std::lock_guard lk(r.mu);
-  r.lane_names.push_back(name);
-  return static_cast<std::uint32_t>(r.lane_names.size() + 1);  // first lane -> pid 2
+  const std::uint32_t pid = r.next_lane_pid++;
+  r.lane_names[pid] = name;
+  return pid;
 }
 
 void trace_complete_event(std::string name, const char* cat, double ts_us, double dur_us,
@@ -134,8 +140,8 @@ std::string trace_events_json() {
   if (!r.events.empty() || !r.lane_names.empty()) {
     write_metadata_event(w, 1, "abagnale");
   }
-  for (std::size_t i = 0; i < r.lane_names.size(); ++i) {
-    write_metadata_event(w, static_cast<std::uint32_t>(i + 2), r.lane_names[i]);
+  for (const auto& [pid, name] : r.lane_names) {
+    write_metadata_event(w, pid, name);
   }
   for (const auto& e : r.events) {
     w.begin_object();

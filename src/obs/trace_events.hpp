@@ -47,8 +47,10 @@ void trace_complete_event_on(std::uint32_t lane, std::string name, const char* c
 // thread's current lane.
 void trace_instant_event(std::string name, const char* cat, std::string args_json = {});
 
-// Drop all recorded events and registered lanes (tests; CLI between setup
-// and the measured run).
+// Drop all recorded events and registered lane names (tests; CLI between
+// setup and the measured run). Lane pids are never reused across a clear, so
+// a lane id handed out earlier stays valid — its events land on the same
+// (now unnamed) lane rather than aliasing a lane registered later.
 void clear_trace_events();
 
 std::size_t trace_event_count();

@@ -122,6 +122,16 @@ TEST(ObsLabels, LabelOrderDoesNotSplitSeries) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(ObsLabels, DuplicateLabelKeysKeepFirstValue) {
+  // A repeated key must collapse during normalization (first value after the
+  // sort wins): the Prometheus exposition format forbids a repeated label
+  // name inside one label block.
+  auto& dup = obs::counter("test.label_dupkey", {{"job", "a"}, {"job", "b"}});
+  auto& canon = obs::counter("test.label_dupkey", {{"job", "a"}});
+  EXPECT_EQ(&dup, &canon);
+  EXPECT_EQ(obs::series_key("m", {{"job", "b"}, {"job", "a"}}), "m{job=\"a\"}");
+}
+
 TEST(ObsLabels, FamilyCardinalityCapCollapsesIntoOverflowSeries) {
   obs::counter("obs.series_overflow").reset();
   // Register far more label sets than one family may hold. The first

@@ -173,6 +173,35 @@ TEST_F(SpansTest, RegisteredLanesGetMetadataAndEventsCarryTheirPid) {
   EXPECT_EQ(by_name.at("work b").pid, lane_b);
 }
 
+// Lane pids are monotonic across clear_trace_events(): a job still holding a
+// pre-clear lane id keeps emitting on its own (now unnamed) lane instead of
+// aliasing whatever lane gets registered next.
+TEST_F(SpansTest, LanePidsAreNotReusedAcrossClear) {
+  const std::uint32_t stale = obs::register_lane("job old");
+  obs::clear_trace_events();
+  const std::uint32_t fresh = obs::register_lane("job new");
+  EXPECT_NE(stale, fresh);
+
+  obs::trace_complete_event_on(stale, "stale work", "test", 0.0, 1.0);
+  obs::trace_complete_event_on(fresh, "fresh work", "test", 0.0, 1.0);
+
+  std::map<std::string, std::uint32_t> lane_pids;  // metadata name -> pid
+  std::map<std::string, ParsedEvent> by_name;
+  for (const auto& e : parse_trace()) {
+    if (e.ph == "M") lane_pids[e.lane_name] = e.pid;
+    if (e.ph == "X") by_name[e.name] = e;
+  }
+  ASSERT_TRUE(by_name.count("stale work"));
+  ASSERT_TRUE(by_name.count("fresh work"));
+  EXPECT_EQ(by_name["stale work"].pid, stale);
+  EXPECT_EQ(by_name["fresh work"].pid, fresh);
+  // The clear dropped the old lane's name; only the new lane is named, and
+  // under its own pid.
+  EXPECT_FALSE(lane_pids.count("job old"));
+  ASSERT_TRUE(lane_pids.count("job new"));
+  EXPECT_EQ(lane_pids["job new"], fresh);
+}
+
 // The core propagation guarantee: the pool captures the submitter's context
 // at enqueue time and installs it in whichever worker runs the task, so
 // stolen tasks attribute to the submitting job's lane — never to whatever

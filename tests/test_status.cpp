@@ -211,15 +211,23 @@ TEST(PrometheusText, SnapshotRendersStructurallyValidExposition) {
     if (sample.family != "abg_synth_iterations") continue;
     ++iteration_series;
     ASSERT_TRUE(sample.labels.count("job"));
-    if (sample.labels.at("job") == "reno") EXPECT_EQ(sample.value, "12");
-    if (sample.labels.at("job") == "cubic") EXPECT_EQ(sample.value, "7");
+    if (sample.labels.at("job") == "reno") {
+      EXPECT_EQ(sample.value, "12");
+    }
+    if (sample.labels.at("job") == "cubic") {
+      EXPECT_EQ(sample.value, "7");
+    }
   }
   EXPECT_EQ(iteration_series, 2);
 
   // Gauge renders as two families: last value and the _max high-watermark.
   for (const auto& sample : doc.samples) {
-    if (sample.family == "abg_pool_queue_depth") EXPECT_EQ(sample.value, "3");
-    if (sample.family == "abg_pool_queue_depth_max") EXPECT_EQ(sample.value, "9");
+    if (sample.family == "abg_pool_queue_depth") {
+      EXPECT_EQ(sample.value, "3");
+    }
+    if (sample.family == "abg_pool_queue_depth_max") {
+      EXPECT_EQ(sample.value, "9");
+    }
   }
 
   // Histogram: buckets are cumulative, +Inf bucket == _count, and _sum
@@ -256,6 +264,36 @@ TEST(PrometheusText, DottedNamesAndLabelValuesAreEscaped) {
   EXPECT_EQ(doc.samples[0].family, "abg_a_b_c");  // '.' and '-' both mangled
   // The parser unescapes, so a round-trip recovers the original value.
   EXPECT_EQ(doc.samples[0].labels.at("job"), "x\"y\\z\nw");
+}
+
+TEST(PrometheusText, PostMangleFamilyCollisionsAreDisambiguated) {
+  obs::Snapshot s;
+  // "a.b" and "a_b" both mangle to abg_a_b; "g.m"'s synthesized _max family
+  // collides with the explicitly registered gauge "g.m_max". Both cases must
+  // render without duplicate TYPE lines (the parser flags those).
+  s.counters.push_back({"a.b", {}, 1});
+  s.counters.push_back({"a_b", {}, 2});
+  s.gauges.push_back({"g.m", {}, 2.0, 3.0});
+  s.gauges.push_back({"g.m_max", {}, 4.0, 5.0});
+
+  const std::string text = obs::prometheus_text(s);
+  const PromDoc doc = parse_prometheus(text);
+  ASSERT_TRUE(doc.errors.empty()) << doc.errors.front() << "\n" << text;
+
+  // The first claimant keeps the mangled family; the collider is suffixed.
+  // Both values survive under distinct declared families.
+  std::map<std::string, std::string> counter_values;  // family -> value
+  for (const auto& sample : doc.samples) {
+    if (sample.family.rfind("abg_a_b", 0) == 0) counter_values[sample.family] = sample.value;
+  }
+  ASSERT_EQ(counter_values.size(), 2u);
+  ASSERT_TRUE(counter_values.count("abg_a_b"));
+  EXPECT_EQ(counter_values.at("abg_a_b"), "1");
+  for (const auto& [family, value] : counter_values) {
+    if (family != "abg_a_b") {
+      EXPECT_EQ(value, "2");
+    }
+  }
 }
 
 TEST(PrometheusText, LiveRegistryEndToEnd) {
