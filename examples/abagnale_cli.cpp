@@ -25,7 +25,13 @@
 //                            open the file in chrome://tracing or Perfetto
 //   --status-port <n>        serve live status over HTTP on 127.0.0.1:<n>
 //                            while the command runs: /metrics (Prometheus
-//                            text), /jobs (batch job states), /healthz
+//                            text), /jobs (batch job states), /journal
+//                            (search-forensics summary), /healthz
+//   --journal-out <f>        record the search-forensics journal (one binary
+//                            event per candidate lifecycle step) to <f>;
+//                            query it with abg_inspect. In batch mode the
+//                            combined journal is additionally split into
+//                            <f>.<job> per-job journals.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +49,7 @@
 #include "core/abagnale.hpp"
 #include "dsl/known_handlers.hpp"
 #include "net/simulator.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/status_server.hpp"
@@ -72,8 +79,11 @@ int usage() {
                "  --repair-traces         drop/clamp malformed trace rows instead of failing\n"
                "  --metrics-out <m.json>  JSON run report: counters/gauges/histograms\n"
                "  --trace-out <t.json>    Chrome trace-event spans (chrome://tracing, Perfetto)\n"
+               "  --journal-out <f>       search-forensics journal (query with abg_inspect;\n"
+               "                          batch mode also splits per-job <f>.<job> files)\n"
                "  --status-port <n>       live HTTP status on 127.0.0.1:<n> (0 = ephemeral):\n"
-               "                          /metrics (Prometheus), /jobs (batch), /healthz\n"
+               "                          /metrics (Prometheus), /jobs (batch), /journal,\n"
+               "                          /healthz\n"
                "exit codes: 0 ok, 1 unknown, 2 usage, 3 parse, 4 invalid-trace, 5 timeout,\n"
                "            6 cancelled, 7 io, 8 numeric, 9 invalid-argument\n");
   return 2;
@@ -457,7 +467,7 @@ int main(int argc, char** argv) {
 
   // Extract the observability flags first so every subcommand's own argv
   // parsing sees the command line it always did.
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, journal_out;
   int status_port = -1;  // -1 = no status server
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -466,6 +476,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      journal_out = argv[++i];
     } else if (std::strcmp(argv[i], "--status-port") == 0 && i + 1 < argc) {
       double port = 0;
       if (!parse_double_arg("--status-port", argv[++i], &port) || port < 0 || port > 65535) {
@@ -481,6 +493,13 @@ int main(int argc, char** argv) {
   const int nargs = static_cast<int>(args.size());
   if (nargs < 2) return usage();
   if (!trace_out.empty()) obs::set_tracing_enabled(true);
+  if (!journal_out.empty()) {
+    std::string err;
+    if (!obs::journal_start(obs::JournalOptions{journal_out}, &err)) {
+      std::fprintf(stderr, "journal: %s\n", err.c_str());
+      return util::exit_code(util::StatusCode::kIoError);
+    }
+  }
 
   // The status server lives for the whole command; its /jobs route reads
   // through the swappable provider that batch mode installs.
@@ -488,6 +507,7 @@ int main(int argc, char** argv) {
   if (status_port >= 0) {
     server = std::make_unique<obs::StatusServer>();
     server->handle("/jobs", "application/json", jobs_body);
+    server->handle("/journal", "application/json", [] { return obs::journal_summary_json(); });
     std::string err;
     if (!server->start(static_cast<std::uint16_t>(status_port), &err)) {
       std::fprintf(stderr, "status server: %s\n", err.c_str());
@@ -524,6 +544,23 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "failed to write trace file %s\n", trace_out.c_str());
       if (rc == 0) rc = 1;
+    }
+  }
+  if (!journal_out.empty()) {
+    // Every producer is quiescent here: the subcommand has returned and the
+    // engine/pool are destroyed, so the final drain is complete.
+    const obs::JournalStats js = obs::journal_stop();
+    std::printf("journal: %s (%llu events, %llu dropped; query with abg_inspect)\n",
+                journal_out.c_str(), static_cast<unsigned long long>(js.recorded),
+                static_cast<unsigned long long>(js.dropped));
+    if (cmd == "--batch") {
+      std::string err;
+      const auto parts = obs::split_journal_by_job(journal_out, &err);
+      for (const auto& p : parts) std::printf("journal: %s\n", p.c_str());
+      if (!err.empty()) {
+        std::fprintf(stderr, "journal split failed: %s\n", err.c_str());
+        if (rc == 0) rc = 1;
+      }
     }
   }
   return rc;

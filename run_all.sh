@@ -66,6 +66,7 @@ perf_report() {
       --benchmark_filter='^BM_Dtw/1024$' >/dev/null) || return $?
   ./build/tools/abg_report BENCH_baseline.json "$tmp/bench_micro.metrics.json" \
       --require distance.dtw_evals \
+      --require obs.series_overflow=0 \
       --gate-ratio distance.dtw_cells/distance.dtw_evals=2 \
       2>&1 | tee /root/repo/perf_report.txt
   local rc=$?
@@ -118,11 +119,17 @@ batch_sweep() {
 EOF
   # --status-port 0 binds an ephemeral localhost port: the live endpoint is
   # exercised (start, serve thread, clean shutdown) on every recorded run;
-  # the trace file records one Perfetto lane per job.
+  # the trace file records one Perfetto lane per job, and the search journal
+  # records every candidate's lifecycle (split per job at exit).
   ./build/examples/abagnale_cli --batch "$tmp/sweep.json" \
       --status-port 0 --trace-out /root/repo/batch_trace.json \
+      --journal-out /root/repo/batch_search.journal \
       2>&1 | tee /root/repo/batch_output.txt
   local rc=$?
+  # The journal must be queryable whatever the sweep's outcome (a timeout
+  # partial still journals everything it did). No --check here: the strict
+  # funnel-vs-metrics reconciliation runs in the CI bench-smoke job.
+  ./build/tools/abg_inspect funnel /root/repo/batch_search.journal || return $?
   # A manifest with an unknown key must be rejected with invalid-argument (9)
   # before any job runs.
   echo '{"jobs": [{"traces": ["x.csv"], "timout_s": 5}]}' > "$tmp/typo.json"

@@ -63,7 +63,7 @@ const std::set<std::string>& known_job_keys() {
       "concretize_budget", "max_depth",  "max_nodes",
       "max_holes",     "warmup_s",       "min_segment_samples",
       "fast_path",     "repair_traces",  "checkpoint",
-      "resume"};
+      "resume",        "journal"};
   return keys;
 }
 
@@ -155,6 +155,9 @@ util::Status parse_job(const util::JsonValue& j, JobSpec* spec) {
   if (auto st = read_bool(j, "repair_traces", &spec->load.repair); !st.is_ok()) return st;
   if (auto st = read_string(j, "checkpoint", &synth.checkpoint_path); !st.is_ok()) return st;
   if (auto st = read_bool(j, "resume", &synth.resume); !st.is_ok()) return st;
+  // "journal": false opts this job out of an armed search-forensics journal
+  // (abagnale_cli --journal-out); the default participates.
+  if (auto st = read_bool(j, "journal", &synth.journal); !st.is_ok()) return st;
 
   return util::Status::ok();
 }

@@ -17,7 +17,8 @@
 //         "concretize_budget": 24, "max_depth": 4, "max_nodes": 9,
 //         "max_holes": 3, "warmup_s": 2.0, "min_segment_samples": 20,
 //         "fast_path": true, "repair_traces": false,
-//         "checkpoint": "state.bin", "resume": false
+//         "checkpoint": "state.bin", "resume": false,
+//         "journal": true           // participate in --journal-out recording
 //       }, ...
 //     ]
 //   }

@@ -4,9 +4,37 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 
 namespace abg::distance {
+
+namespace {
+
+// One shared handle per DTW counter (previously three function-local-static
+// registrations scattered over the prune branches), all under the distance.*
+// namespace the cells/evals series already use.
+struct DtwCounters {
+  obs::Counter& evals;
+  obs::Counter& cells;
+  obs::Counter& lb_prunes;
+  obs::Counter& early_abandons;
+};
+
+DtwCounters& dtw_counters() {
+  static DtwCounters* c = [] {
+    obs::describe("distance.dtw_evals", "DTW evaluations started (prunes included)");
+    obs::describe("distance.dtw_cells", "band-aware DP cells actually visited");
+    obs::describe("distance.lb_prunes", "DTW evals pruned by the LB_Kim endpoint bound");
+    obs::describe("distance.early_abandons", "DTW evals abandoned before the DP completed");
+    return new DtwCounters{
+        obs::counter("distance.dtw_evals"), obs::counter("distance.dtw_cells"),
+        obs::counter("distance.lb_prunes"), obs::counter("distance.early_abandons")};
+  }();
+  return *c;
+}
+
+}  // namespace
 
 const char* metric_name(Metric m) {
   switch (m) {
@@ -47,18 +75,21 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
   const std::size_t n = a.size(), m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  static auto& c_evals = obs::counter("distance.dtw_evals");
-  static auto& c_cells = obs::counter("distance.dtw_cells");
-  // The bound arrives in normalized units (d / (n+m) * 2); the DP works in
-  // raw path-cost units, so compare against the denormalized cutoff.
-  const double raw_cutoff = abandon_above * static_cast<double>(n + m) / 2.0;
+  DtwCounters& c = dtw_counters();
+  // Raw-to-normalized scale for this pair (the return value and every bound
+  // are in d / (n+m) * 2 units).
+  const double norm = 2.0 / static_cast<double>(n + m);
+  // The bound arrives in normalized units; the DP works in raw path-cost
+  // units, so compare against the denormalized cutoff.
+  const double raw_cutoff = abandon_above / norm;
   if (raw_cutoff <= 0.0) {
     // Nothing can beat a non-positive bound: costs are non-negative.
-    static auto& c_lb = obs::counter("dtw.lb_prunes");
-    static auto& c_ab = obs::counter("dtw.early_abandons");
-    c_evals.add();
-    c_lb.add();
-    c_ab.add();
+    c.evals.add();
+    c.lb_prunes.add();
+    c.early_abandons.add();
+    if (obs::journal_enabled()) {
+      obs::journal_record_distance(obs::JournalKind::kLbPrune, abandon_above, 0);
+    }
     return kInf;
   }
   if (std::isfinite(raw_cutoff)) {
@@ -67,11 +98,12 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
     const double lb = std::fabs(a[0] - b[0]) +
                       (n + m > 2 ? std::fabs(a[n - 1] - b[m - 1]) : 0.0);
     if (lb >= raw_cutoff) {
-      static auto& c_lb = obs::counter("dtw.lb_prunes");
-      static auto& c_ab = obs::counter("dtw.early_abandons");
-      c_evals.add();
-      c_lb.add();
-      c_ab.add();
+      c.evals.add();
+      c.lb_prunes.add();
+      c.early_abandons.add();
+      if (obs::journal_enabled()) {
+        obs::journal_record_distance(obs::JournalKind::kLbPrune, lb * norm, 0);
+      }
       return kInf;
     }
   }
@@ -101,21 +133,27 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
     // Cumulative cell values only grow down/right (non-negative step costs),
     // so once a whole row meets the cutoff the final cost must too.
     if (std::isfinite(raw_cutoff) && row_min >= raw_cutoff) {
-      static auto& c_ab = obs::counter("dtw.early_abandons");
-      c_evals.add();
-      c_cells.add(cells);
-      c_ab.add();
+      c.evals.add();
+      c.cells.add(cells);
+      c.early_abandons.add();
+      if (obs::journal_enabled()) {
+        obs::journal_record_distance(obs::JournalKind::kRowAbandon, row_min * norm, cells);
+      }
       return kInf;
     }
     std::swap(prev, cur);
   }
   // One relaxed add per eval, not per cell: counting stays off the DP loop.
-  c_evals.add();
-  c_cells.add(cells);
+  c.evals.add();
+  c.cells.add(cells);
   // Normalize by path length scale so distances are comparable across
   // segment sizes.
   const double d = prev[m];
-  return std::isfinite(d) ? d / static_cast<double>(n + m) * 2.0 : kInf;
+  const double nd = std::isfinite(d) ? d * norm : kInf;
+  if (obs::journal_enabled()) {
+    obs::journal_record_distance(obs::JournalKind::kDtwEval, nd, cells);
+  }
+  return nd;
 }
 
 namespace {

@@ -48,10 +48,10 @@ std::vector<double> resample(std::span<const double> in, std::size_t n);
 // and +inf is returned. Two pruning levels run, both exact:
 //   * an O(1) LB_Kim-style lower bound over the endpoint cells (every
 //     warping path must include (0,0) and (n-1,m-1)), checked before any
-//     DP row is allocated ("dtw.lb_prunes"),
+//     DP row is allocated ("distance.lb_prunes"),
 //   * a per-row check — every cumulative cell value lower-bounds the final
 //     path cost, so when the minimum of a finished row already meets the
-//     bound, no extension can come back under it ("dtw.early_abandons").
+//     bound, no extension can come back under it ("distance.early_abandons").
 // With abandon_above = kNoAbandon the result is bit-identical to the
 // unbounded evaluation.
 double dtw(std::span<const double> a, std::span<const double> b, double band_frac = 0.0,

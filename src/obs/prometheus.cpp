@@ -73,10 +73,36 @@ std::string label_block(const Labels& labels, const std::string& extra_key = {},
   return out;
 }
 
-void type_line(std::string& out, const std::string& family, const char* type,
-               std::string& last_family) {
+// HELP text escapes `\` and newline (exposition format 0.0.4; `"` is only
+// special inside label values, not in help text).
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Family header: an optional `# HELP` line (when the registry name was
+// describe()d) followed by the `# TYPE` line, once per family. `help_name` is
+// the registry name to look the help text up under — empty for synthesized
+// families (the gauge "_max" mirrors) that have no registration of their own.
+void family_header(std::string& out, const Snapshot& s, const std::string& family,
+                   const std::string& help_name, const char* type, std::string& last_family) {
   if (family == last_family) return;
   last_family = family;
+  if (!help_name.empty()) {
+    if (const auto it = s.help.find(help_name); it != s.help.end()) {
+      out += "# HELP " + family + " " + escape_help(it->second) + "\n";
+    }
+  }
   out += "# TYPE " + family + " " + type + "\n";
 }
 
@@ -109,7 +135,7 @@ std::string prometheus_text(const Snapshot& s) {
 
   for (const auto& c : s.counters) {
     const std::string family = families.resolve("abg_" + mangle(c.name), "counter:" + c.name);
-    type_line(out, family, "counter", last_family);
+    family_header(out, s, family, c.name, "counter", last_family);
     char buf[32];
     std::snprintf(buf, sizeof buf, "%" PRIu64, c.value);
     out += family + label_block(c.labels) + " " + buf + "\n";
@@ -118,7 +144,7 @@ std::string prometheus_text(const Snapshot& s) {
   last_family.clear();
   for (const auto& g : s.gauges) {
     const std::string family = families.resolve("abg_" + mangle(g.name), "gauge:" + g.name);
-    type_line(out, family, "gauge", last_family);
+    family_header(out, s, family, g.name, "gauge", last_family);
     out += family + label_block(g.labels) + " " + fmt_double(g.last) + "\n";
   }
   // The high-watermark series get their own families so the TYPE lines group.
@@ -126,14 +152,14 @@ std::string prometheus_text(const Snapshot& s) {
   for (const auto& g : s.gauges) {
     const std::string family =
         families.resolve("abg_" + mangle(g.name) + "_max", "gauge_max:" + g.name);
-    type_line(out, family, "gauge", last_family);
+    family_header(out, s, family, {}, "gauge", last_family);
     out += family + label_block(g.labels) + " " + fmt_double(g.max) + "\n";
   }
 
   last_family.clear();
   for (const auto& h : s.histograms) {
     const std::string family = families.resolve("abg_" + mangle(h.name), "hist:" + h.name);
-    type_line(out, family, "histogram", last_family);
+    family_header(out, s, family, h.name, "histogram", last_family);
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.counts[i];

@@ -64,6 +64,8 @@ struct Registry {
   std::map<SeriesKey, std::unique_ptr<Histogram>> histograms;
   // Labeled-series count per family name, for the cardinality cap.
   std::map<std::string, std::size_t> family_series;
+  // Family name -> help string (describe()).
+  std::map<std::string, std::string> help;
 };
 
 Registry& registry() {
@@ -217,10 +219,27 @@ Histogram& histogram(const std::string& name, std::span<const double> bounds,
   return h;
 }
 
+void describe(const std::string& name, const std::string& help) {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  r.help.emplace(name, help);  // first registration wins
+}
+
 Snapshot snapshot() {
+  // Eagerly materialize the overflow counter (outside the lock: counter()
+  // re-enters the registry mutex) so every report carries the series and an
+  // exact-value gate like `--require obs.series_overflow=0` can always bind.
+  {
+    static Counter* overflow = [] {
+      describe("obs.series_overflow", "label sets collapsed into the overflow series");
+      return &counter("obs.series_overflow");
+    }();
+    (void)overflow;
+  }
   auto& r = registry();
   std::lock_guard lk(r.mu);
   Snapshot s;
+  s.help = r.help;
   for (const auto& [key, c] : r.counters) {
     s.counters.push_back(Snapshot::CounterData{key.first, key.second, c->value()});
   }

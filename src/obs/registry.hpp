@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <utility>
@@ -123,6 +124,12 @@ Histogram& histogram(const std::string& name,
 Histogram& histogram(const std::string& name, std::span<const double> bounds,
                      const Labels& labels);
 
+// Attach an optional help string to a metric family name (all series of the
+// family share it). Exporters surface it — the Prometheus endpoint emits a
+// `# HELP` line per exposition format 0.0.4. First registration wins;
+// describing a family that never gets a series is harmless.
+void describe(const std::string& name, const std::string& help);
+
 // Point-in-time copy of every registered metric, for the exporters and tests.
 // Entries are ordered name-major (all series of a family are contiguous),
 // labels sorted by key within a series.
@@ -154,6 +161,8 @@ struct Snapshot {
   std::vector<CounterData> counters;
   std::vector<GaugeData> gauges;
   std::vector<HistogramData> histograms;
+  // Family name -> help string, for every family that was describe()d.
+  std::map<std::string, std::string> help;
 
   // Unlabeled counter value by exact name; 0 if absent.
   std::uint64_t counter_value(const std::string& name) const;

@@ -17,7 +17,7 @@ struct Event {
   std::string name;
   std::string args_json;
   const char* cat;
-  const char* ph;  // "X" (complete) or "i" (instant)
+  const char* ph;  // "X" (complete), "i" (instant) or "C" (counter)
   double ts_us;
   double dur_us;
   std::uint32_t pid;  // lane: 1 = process lane, 2+ = registered lanes
@@ -115,6 +115,12 @@ void trace_instant_event(std::string name, const char* cat, std::string args_jso
                lane_pid(current_context().lane), this_tid()});
 }
 
+void trace_counter_event(std::string name, const char* cat, std::string args_json) {
+  if (!tracing_enabled()) return;
+  append(Event{std::move(name), std::move(args_json), cat, "C", trace_now_us(), 0.0,
+               lane_pid(current_context().lane), this_tid()});
+}
+
 void clear_trace_events() {
   auto& r = recorder();
   std::lock_guard lk(r.mu);
@@ -156,7 +162,7 @@ std::string trace_events_json() {
     if (e.ph[0] == 'X') {
       w.key("dur");
       w.value(e.dur_us);
-    } else {
+    } else if (e.ph[0] == 'i') {
       w.key("s");  // instant-event scope: thread
       w.value("t");
     }

@@ -47,6 +47,11 @@ void trace_complete_event_on(std::uint32_t lane, std::string name, const char* c
 // thread's current lane.
 void trace_instant_event(std::string name, const char* cat, std::string args_json = {});
 
+// Append a counter event (ph="C") on the calling thread's current lane.
+// args_json must be a serialized JSON object mapping series name -> numeric
+// value; Perfetto renders one stacked counter track named `name` per lane.
+void trace_counter_event(std::string name, const char* cat, std::string args_json);
+
 // Drop all recorded events and registered lane names (tests; CLI between
 // setup and the measured run). Lane pids are never reused across a clear, so
 // a lane id handed out earlier stays valid — its events land on the same

@@ -7,6 +7,7 @@
 
 #include "dsl/simplify.hpp"
 #include "dsl/units.hpp"
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 
 namespace abg::synth {
@@ -395,9 +396,13 @@ struct SketchEnumerator::Impl {
       // the paper's sympy-based non-simplifiability check).
       if (dsl::is_simplifiable(*sketch)) continue;
       const auto canon = dsl::canonicalize(sketch);
-      if (!seen_hashes.insert(dsl::hash_expr(*canon)).second) continue;
+      const auto canon_hash = dsl::hash_expr(*canon);
+      if (!seen_hashes.insert(canon_hash).second) continue;
       ++emitted;
       c_emitted.add();
+      // Journal the sketch under the caller's provenance (the refinement
+      // loop enumerates inside its bucket scope; no scope, no event).
+      if (obs::journal_enabled()) obs::journal_record_sketch(canon_hash);
       return canon;
     }
     return std::nullopt;

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 
 namespace abg::synth {
@@ -87,6 +88,11 @@ std::optional<double> EvalCache::lookup(std::uint64_t fingerprint, std::size_t c
             dsl::equal(*e.canon, canon)) {
           hits_.fetch_add(1, std::memory_order_relaxed);
           c_hits.add();
+          // Terminal lifecycle event for the probing candidate: the memo
+          // cache answered, no distance evaluation will run.
+          if (obs::journal_enabled()) {
+            obs::journal_record_candidate(obs::JournalKind::kCacheHit, e.distance, 0);
+          }
           return e.distance;
         }
       }

@@ -7,6 +7,7 @@
 
 #include "dsl/parse.hpp"
 #include "dsl/simplify.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
@@ -36,6 +37,9 @@ struct BucketState {
   // scoring pass (only when the run carries obs_labels) and cached here so
   // the scoring path never re-enters the registry mutex.
   obs::Counter* labeled_scored = nullptr;
+  // Interned journal id of this bucket's label, resolved on first journaled
+  // scoring pass (journal_intern takes a mutex; the id is stable after).
+  std::uint32_t journal_bucket = 0;
 };
 
 std::uint64_t label_seed(const std::string& label, std::uint64_t seed) {
@@ -105,12 +109,25 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
   ConcretizeOptions copts;
   copts.budget = opts.concretize_budget;
   const auto assignments = enumerate_assignments(*sketch, constant_pool, copts, rng);
+  // Journal identity: the sketch stored in BucketState is the enumerator's
+  // canonical form, so hashing it directly matches the kSketch event the
+  // enumerator recorded. Fingerprints then pin each hole assignment.
+  const bool jrn = obs::journal_in_scope();
+  const std::uint64_t sketch_hash = jrn ? dsl::hash_expr(*sketch) : 0;
   std::size_t evaluated = 0;
   for (const auto& assign : assignments) {
     // Cancellation poll point: once a valid best exists, a fired token stops
     // this sketch immediately and the caller keeps the best-so-far.
     if (ctx && ctx->cancel && ctx->cancel->cancelled() && best.valid()) break;
     ++evaluated;
+    std::uint64_t fp = 0;
+    if (jrn) {
+      // kEnumerated at the same point as ++evaluated, so the funnel's top
+      // reconciles exactly with total_handlers_scored.
+      fp = obs::journal_fingerprint(sketch_hash, assign);
+      obs::journal_begin_candidate(sketch_hash, fp);
+      obs::journal_record_candidate(obs::JournalKind::kEnumerated, cutoff, 0);
+    }
     const auto handler = dsl::fill_holes(sketch, assign);
     double d;
     dsl::ExprPtr canon;
@@ -119,6 +136,7 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
     if (cache) {
       canon = dsl::canonicalize(handler);
       canon_hash = dsl::hash_expr(*canon);
+      // A hit records the candidate's kCacheHit terminal inside lookup().
       if (auto hit = cache->lookup(ctx->fingerprint, canon_hash, *canon)) {
         d = *hit;
         cached = true;
@@ -139,11 +157,20 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
       if (cache && d < cutoff) {
         cache->insert(ctx->fingerprint, canon_hash, std::move(canon), d);
       }
+      if (jrn) {
+        // Terminal: exact distance, or abandoned against the bucket bound
+        // (an abandoned evaluation surfaces as +inf).
+        obs::journal_record_candidate(std::isfinite(d) ? obs::JournalKind::kEvaluated
+                                                       : obs::JournalKind::kAbandoned,
+                                      d, obs::journal_take_cells());
+      }
     }
+    if (jrn) obs::journal_end_candidate();
     if (handlers_scored) ++*handlers_scored;
     if (d < best.distance) {
       best.distance = d;
       best.handler = handler;
+      best.fingerprint = fp;
       if (abandon) cutoff = std::min(cutoff, d);
     }
   }
@@ -252,10 +279,30 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   // once fired (deadline, caller, injected fault), stops enumerating and
   // scoring but keeps what it has (the loop always returns the best handler
   // found so far, §4.4).
-  auto score_bucket = [&](BucketState& st, std::size_t target,
+  // Journal provenance (ISSUE 6): resolved once per run. The job id comes
+  // from the engine's obs labels ({job=...}); a standalone run journals with
+  // job id 0 (""). The scope is installed inside the scoring task body, so a
+  // pool worker that steals the task self-attributes to this run.
+  const bool journal_run = opts.journal && obs::journal_enabled();
+  std::uint32_t journal_job = 0;
+  if (journal_run) {
+    for (const auto& [key, value] : opts.obs_labels) {
+      if (key == "job") {
+        journal_job = obs::journal_intern(value);
+        break;
+      }
+    }
+  }
+
+  auto score_bucket = [&](BucketState& st, std::size_t target, int iter,
                           const std::vector<trace::Segment>& working) {
     static auto& c_sketches = obs::counter("synth.sketches_enumerated");
     obs::TraceSpan span("score " + st.bucket.label, "synth");
+    std::optional<obs::JournalScope> jscope;
+    if (journal_run) {
+      if (st.journal_bucket == 0) st.journal_bucket = obs::journal_intern(st.bucket.label);
+      jscope.emplace(journal_job, st.journal_bucket, static_cast<std::uint32_t>(iter));
+    }
     if (!opts.obs_labels.empty() && st.labeled_scored == nullptr) {
       obs::Labels labels = opts.obs_labels;
       labels.emplace_back("bucket", st.bucket.label);
@@ -303,6 +350,14 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     st.best = bucket_best;
     if (st.labeled_scored != nullptr) {
       st.labeled_scored->add(st.handlers_scored - scored_before);
+    }
+    if (jscope && bucket_best.valid() && bucket_best.sketch) {
+      // This iteration's bucket winner (not the run winner: that event
+      // carries kJournalFinal and is recorded after final validation).
+      obs::journal_record_selected(dsl::hash_expr(*bucket_best.sketch),
+                                   bucket_best.fingerprint, bucket_best.distance,
+                                   obs::journal_intern(dsl::to_string(*bucket_best.handler)),
+                                   false);
     }
     if (bucket_best.valid()) {
       std::lock_guard lk(best_mu);
@@ -475,7 +530,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
 
     // Parallel bucket scoring (line 3 of Algorithm 1).
     pool->parallel_for(live.size(), [&](std::size_t i) {
-      score_bucket(states[live[i]], static_cast<std::size_t>(n), working);
+      score_bucket(states[live[i]], static_cast<std::size_t>(n), iter, working);
     });
 
     // Rank buckets by score.
@@ -525,6 +580,9 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     // Streamed progress for JobHandle subscribers; runs on this thread so
     // the callback may read the report without synchronization.
     if (opts.on_iteration) opts.on_iteration(result.iterations.back());
+    // One funnel sample per iteration on the Perfetto counter tracks
+    // (no-op unless both tracing and journaling are armed).
+    if (journal_run) obs::journal_emit_trace_counters();
 
     ABG_INFO("iter %d: %zu buckets live, N=%d, best=%.3f (%s)", iter, live.size(), n,
              result.best.distance,
@@ -545,7 +603,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     if (live.size() == 1) {
       std::vector<trace::Segment> final_working;
       for (std::size_t idx : sampler.selected()) final_working.push_back(segments[idx]);
-      score_bucket(states[live[0]], opts.exhaustive_cap, final_working);
+      score_bucket(states[live[0]], opts.exhaustive_cap, iter, final_working);
       break;
     }
 
@@ -599,6 +657,19 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       }
     });
     if (winner.valid()) result.best = winner;
+  }
+
+  // The run winner, flagged kJournalFinal. Recorded under a fresh scope
+  // (bucket 0 = none, iter = iterations completed) — validation itself is
+  // not journaled, so this is the only event past the refinement loop.
+  if (journal_run && result.best.valid() && result.best.sketch) {
+    obs::JournalScope scope(journal_job, 0,
+                            static_cast<std::uint32_t>(result.iterations.size()));
+    obs::journal_record_selected(dsl::hash_expr(*result.best.sketch), result.best.fingerprint,
+                                 result.best.distance,
+                                 obs::journal_intern(dsl::to_string(*result.best.handler)),
+                                 true);
+    obs::journal_emit_trace_counters();
   }
 
   for (const auto& st : states) {

@@ -85,8 +85,17 @@ struct SynthesisOptions {
   // shared across buckets and iterations ("synth.cache_hits"/"_misses").
   bool use_eval_cache = true;
   // Thread the running best distance into total_distance/DTW so hopeless
-  // candidates abandon early ("dtw.early_abandons", "synth.distance_abandons").
+  // candidates abandon early ("distance.early_abandons",
+  // "synth.distance_abandons").
   bool early_abandon = true;
+
+  // --- Search forensics (ISSUE 6). When true AND a process-wide journal is
+  // armed (obs::journal_start), this run emits one event per candidate
+  // lifecycle step with full provenance. With no journal armed the cost is
+  // one relaxed load per site; false opts this run out even when a journal
+  // is armed (a batch can journal selected jobs only). Never changes the
+  // result — the journal observes the search, it does not steer it.
+  bool journal = true;
 
   // --- Batch engine hooks (ISSUE 4). None of these change the result; they
   // let abg::api::Engine run many jobs against shared infrastructure.
@@ -125,6 +134,11 @@ struct ScoredHandler {
   dsl::ExprPtr sketch;   // with holes
   dsl::ExprPtr handler;  // concrete
   double distance = std::numeric_limits<double>::infinity();
+  // Journal identity (obs::journal_fingerprint) of the winning hole
+  // assignment; 0 when the run was not journaled (or the handler was
+  // restored from a checkpoint). Lets `abg_inspect why <fingerprint>` trace
+  // a selected handler back through its lifecycle events.
+  std::uint64_t fingerprint = 0;
 
   bool valid() const { return handler != nullptr; }
 };

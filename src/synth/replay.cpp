@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dsl/eval.hpp"
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 #include "util/fault_injection.hpp"
 #include "util/log.hpp"
@@ -70,7 +71,11 @@ double total_distance(const dsl::Expr& handler, const std::vector<trace::Segment
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const bool bounded = std::isfinite(abandon_above);
   double sum = 0.0;
-  for (const auto& seg : segments) {
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& seg = segments[i];
+    // Stamp the segment index so the journal's DTW detail events attribute
+    // cells to working-set positions (abg_inspect hotspots --by segment).
+    if (obs::journal_enabled()) obs::journal_set_segment(static_cast<std::uint32_t>(i));
     // Remaining budget for this segment: if its distance alone reaches it,
     // the total cannot come in under the bound.
     sum += segment_distance(handler, seg, metric, dopts, ropts,

@@ -296,6 +296,50 @@ TEST(PrometheusText, PostMangleFamilyCollisionsAreDisambiguated) {
   }
 }
 
+TEST(PrometheusText, HelpLinesPrecedeTypeAndEscape) {
+  obs::Snapshot s;
+  s.counters.push_back({"helped.counter", {}, 3});
+  s.counters.push_back({"silent.counter", {}, 4});
+  s.gauges.push_back({"helped.gauge", {}, 1.0, 2.0});
+  s.help["helped.counter"] = "path\\to glory\nsecond line";
+  s.help["helped.gauge"] = "queue depth";
+
+  const std::string text = obs::prometheus_text(s);
+  const PromDoc doc = parse_prometheus(text);
+  ASSERT_TRUE(doc.errors.empty()) << doc.errors.front() << "\n" << text;
+
+  // HELP text is escaped per exposition format 0.0.4 (backslash and newline;
+  // quotes stay literal) and sits immediately above the family's TYPE line.
+  const std::string counter_header =
+      "# HELP abg_helped_counter path\\\\to glory\\nsecond line\n"
+      "# TYPE abg_helped_counter counter\n";
+  EXPECT_NE(text.find(counter_header), std::string::npos) << text;
+  const std::string gauge_header =
+      "# HELP abg_helped_gauge queue depth\n"
+      "# TYPE abg_helped_gauge gauge\n";
+  EXPECT_NE(text.find(gauge_header), std::string::npos) << text;
+
+  // The synthesized _max mirror has no registration of its own, so it must
+  // not inherit the base gauge's help; undescribed families get no HELP.
+  EXPECT_EQ(text.find("# HELP abg_helped_gauge_max"), std::string::npos) << text;
+  EXPECT_EQ(text.find("# HELP abg_silent_counter"), std::string::npos) << text;
+}
+
+TEST(PrometheusText, DescribeFlowsFromLiveRegistry) {
+  obs::reset_all();
+  obs::describe("status_test.described", "events observed by the status test");
+  obs::counter("status_test.described").add(1);
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("# HELP abg_status_test_described "
+                      "events observed by the status test\n"
+                      "# TYPE abg_status_test_described counter\n"),
+            std::string::npos)
+      << text;
+  // snapshot() eagerly registers (and describes) the overflow counter so an
+  // exact gate like `--require obs.series_overflow=0` can always bind.
+  EXPECT_NE(text.find("# HELP abg_obs_series_overflow "), std::string::npos) << text;
+}
+
 TEST(PrometheusText, LiveRegistryEndToEnd) {
   obs::reset_all();
   obs::counter("status_test.events", {{"job", "alpha"}}).add(5);

@@ -25,9 +25,13 @@
 //                           direction. This is the stable way to gate work
 //                           counters whose absolute values scale with
 //                           benchmark iteration counts.
-//   --require NAME          breach when NAME is missing from the current
+//   --require NAME[=VALUE]  breach when NAME is missing from the current
 //                           report (a silently vanished series usually means
-//                           an instrumentation regression, not an optimization).
+//                           an instrumentation regression, not an
+//                           optimization). With =VALUE, additionally breach
+//                           unless the current value equals VALUE exactly —
+//                           e.g. --require obs.series_overflow=0 turns silent
+//                           label-cardinality overflow into a gate failure.
 //
 // Exit: 0 all gates clean, 1 at least one breach, otherwise the usual error
 // classes (3 parse, 7 io, 9 bad arguments).
@@ -35,6 +39,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,7 +56,8 @@ int usage() {
                "  --gate NAME[=PCT]       fail when current exceeds baseline by > PCT%% "
                "(default 5; trailing '*' = prefix)\n"
                "  --gate-ratio A/B[=PCT]  fail when the A/B ratio drifts > PCT%% from baseline\n"
-               "  --require NAME          fail when NAME is absent from current\n"
+               "  --require NAME[=VALUE]  fail when NAME is absent from current (or, with\n"
+               "                          =VALUE, when its value is not exactly VALUE)\n"
                "  --list                  print the flattened series of both reports\n");
   return abg::util::exit_code(abg::util::StatusCode::kInvalidArgument);
 }
@@ -111,6 +117,28 @@ struct RatioGate {
   double pct = 5.0;
 };
 
+struct Require {
+  std::string name;
+  std::optional<double> value;  // nullopt = presence-only
+};
+
+// "NAME[=VALUE]": the tail after the last '=' counts as a value only when it
+// parses fully as a number — series names can themselves contain '=' inside
+// label blocks (name{k="v"}), and those must stay part of the name.
+Require parse_require(const std::string& arg) {
+  Require r{arg, std::nullopt};
+  const std::size_t eq = arg.rfind('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) return r;
+  const std::string tail = arg.substr(eq + 1);
+  char* end = nullptr;
+  const double v = std::strtod(tail.c_str(), &end);
+  if (end != nullptr && *end == '\0') {
+    r.name = arg.substr(0, eq);
+    r.value = v;
+  }
+  return r;
+}
+
 // Split "NAME[=PCT]"; false on a malformed percentage.
 bool split_threshold(const std::string& arg, std::string* name, double* pct) {
   const std::size_t eq = arg.rfind('=');
@@ -140,14 +168,14 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   std::vector<Gate> gates;
   std::vector<RatioGate> ratio_gates;
-  std::vector<std::string> required;
+  std::vector<Require> required;
   bool list = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--list") {
       list = true;
     } else if (flag == "--require" && i + 1 < argc) {
-      required.emplace_back(argv[++i]);
+      required.push_back(parse_require(argv[++i]));
     } else if (flag == "--gate" && i + 1 < argc) {
       Gate g;
       if (!split_threshold(argv[++i], &g.pattern, &g.pct)) return usage();
@@ -198,12 +226,17 @@ int main(int argc, char** argv) {
     ++breaches;
   };
 
-  for (const auto& name : required) {
+  for (const auto& req : required) {
     ++checked;
-    if (cur.count(name) == 0) {
-      breach("%s: required series missing from current report", name.c_str());
+    const auto it = cur.find(req.name);
+    if (it == cur.end()) {
+      breach("%s: required series missing from current report", req.name.c_str());
+    } else if (req.value && it->second != *req.value) {
+      breach("%s: required value %.17g, got %.17g", req.name.c_str(), *req.value, it->second);
+    } else if (req.value) {
+      std::printf("ok     %s: %.17g (exact match)\n", req.name.c_str(), it->second);
     } else {
-      std::printf("ok     %s: present (%.17g)\n", name.c_str(), cur.at(name));
+      std::printf("ok     %s: present (%.17g)\n", req.name.c_str(), it->second);
     }
   }
 
