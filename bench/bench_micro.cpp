@@ -6,12 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include "distance/distance.hpp"
+#include "dsl/bytecode.hpp"
 #include "dsl/eval.hpp"
 #include "dsl/known_handlers.hpp"
 #include "dsl/simplify.hpp"
 #include "dsl/units.hpp"
 #include "net/simulator.hpp"
 #include "obs/report.hpp"
+#include "synth/batch_eval.hpp"
 #include "synth/enumerator.hpp"
 #include "synth/eval_cache.hpp"
 #include "synth/replay.hpp"
@@ -40,6 +42,24 @@ void BM_Dtw(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Dtw)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+// The same DP with the kernel pinned per arg (0=scalar, 1=sse2, 2=avx2), so
+// the scalar-vs-SIMD speedup table falls straight out of one bench run.
+// Tiers the host cannot execute are skipped, not silently downgraded.
+void BM_DtwKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto simd = static_cast<distance::Simd>(state.range(1));
+  if (!distance::simd_available(simd)) {
+    state.SkipWithError("kernel not available on this host");
+    return;
+  }
+  auto a = noisy_saw(n, 1), b = noisy_saw(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::dtw(a, b, 0.0, distance::kNoAbandon, simd));
+  }
+  state.SetLabel(distance::simd_name(simd));
+}
+BENCHMARK(BM_DtwKernel)->ArgsProduct({{256, 1024}, {0, 1, 2}});
 
 void BM_DtwBanded(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -125,6 +145,60 @@ void BM_Replay(benchmark::State& state) {
   state.counters["acks"] = static_cast<double>(segs.front().samples.size());
 }
 BENCHMARK(BM_Replay);
+
+// Batched bytecode replay vs. the scalar path it replaces: one compiled
+// sketch, kBatchLanes hole-assignments, one segment. BM_ReplayLanesScalar
+// does the same work the pre-batching loop did (fill_holes + tree-walk replay
+// per candidate); the ratio is the per-candidate win the refinement loop sees.
+struct ReplayBatchFixture {
+  dsl::ExprPtr sketch;
+  dsl::Program prog;
+  std::vector<std::vector<double>> assigns;
+  std::vector<const std::vector<double>*> lanes;
+  trace::Segment segment;
+
+  ReplayBatchFixture() {
+    trace::Environment env;
+    env.duration_s = 10.0;
+    auto t = net::run_connection("reno", env);
+    segment = std::move(trace::segment_all({t}, 20).front());
+    sketch = dsl::to_sketch(dsl::known_handlers("reno").fine_tuned);
+    prog = dsl::compile(*sketch);
+    util::Rng rng(7);
+    const std::size_t holes = dsl::hole_ids(*sketch).size();
+    for (std::size_t lane = 0; lane < dsl::kBatchLanes; ++lane) {
+      std::vector<double> a(holes);
+      for (auto& v : a) v = rng.uniform(0.1, 4.0);
+      assigns.push_back(std::move(a));
+    }
+    for (const auto& a : assigns) lanes.push_back(&a);
+  }
+};
+
+void BM_ReplayBatch(benchmark::State& state) {
+  static const ReplayBatchFixture fx;
+  std::vector<std::vector<double>> out;
+  for (auto _ : state) {
+    synth::replay_batch(fx.prog, fx.lanes, fx.segment, {}, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dsl::kBatchLanes));
+}
+BENCHMARK(BM_ReplayBatch);
+
+void BM_ReplayLanesScalar(benchmark::State& state) {
+  static const ReplayBatchFixture fx;
+  for (auto _ : state) {
+    for (const auto& a : fx.assigns) {
+      const auto handler = dsl::fill_holes(fx.sketch, a);
+      benchmark::DoNotOptimize(synth::replay(*handler, fx.segment));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dsl::kBatchLanes));
+}
+BENCHMARK(BM_ReplayLanesScalar);
 
 void BM_SegmentDistance(benchmark::State& state) {
   trace::Environment env;

@@ -47,6 +47,7 @@
 #include "api/manifest.hpp"
 #include "classify/classifier.hpp"
 #include "core/abagnale.hpp"
+#include "distance/simd.hpp"
 #include "dsl/known_handlers.hpp"
 #include "net/simulator.hpp"
 #include "obs/journal.hpp"
@@ -72,6 +73,7 @@ int usage() {
                "  abagnale_cli collect <cca> <out.csv> [bw_mbps rtt_ms dur_s loss xt_mbps]\n"
                "  abagnale_cli classify <trace.csv>...\n"
                "  abagnale_cli synthesize [--dsl <name>] [--timeout <s>] [--no-fast-path]\n"
+               "                [--simd <scalar|sse2|avx2|auto>]\n"
                "                [--checkpoint <state>] [--resume] <trace.csv>...\n"
                "  abagnale_cli match <cca> <trace.csv>...\n"
                "  abagnale_cli --batch <manifest.json>   (multi-job sweep, api::Engine)\n"
@@ -214,10 +216,12 @@ int cmd_synthesize(int argc, char** argv) {
   while (first < argc && argv[first][0] == '-') {
     if (std::strcmp(argv[first], "--no-fast-path") == 0) {
       // Reference configuration: score every candidate from scratch (no memo
-      // cache, no early abandoning). Results are identical either way — this
-      // exists to measure the fast path, not to change behavior.
+      // cache, no early abandoning, no batched bytecode replay). Results are
+      // identical either way — this exists to measure the fast path, not to
+      // change behavior.
       opts.synth.use_eval_cache = false;
       opts.synth.early_abandon = false;
+      opts.synth.batch_replay = false;
       first += 1;
       continue;
     }
@@ -233,6 +237,16 @@ int cmd_synthesize(int argc, char** argv) {
       if (!parse_double_arg("--timeout", argv[first + 1], &opts.synth.timeout_s)) return usage();
     } else if (std::strcmp(argv[first], "--checkpoint") == 0) {
       opts.synth.checkpoint_path = argv[first + 1];
+    } else if (std::strcmp(argv[first], "--simd") == 0) {
+      // Pin the DTW kernel tier for this run; wins over ABG_SIMD. The
+      // default (auto) picks the best tier the CPU supports.
+      const auto parsed = distance::parse_simd(argv[first + 1]);
+      if (!parsed) {
+        std::fprintf(stderr, "--simd must be scalar/sse2/avx2/auto, got '%s'\n",
+                     argv[first + 1]);
+        return usage();
+      }
+      opts.synth.simd = *parsed;
     } else {
       return usage();
     }

@@ -13,6 +13,14 @@
 set -uo pipefail
 cd /root/repo
 
+# DTW kernel tier for this recorded run. The caller's ABG_SIMD is honored by
+# every stage below (the binaries resolve it themselves); the resolved kernel
+# is stamped into each run's metrics report ("meta" -> "simd_kernel"), so the
+# recorded outputs are never silently cross-kernel. Only the perf-report
+# stage pins scalar, because the committed baseline was recorded on the
+# scalar oracle.
+echo "ABG_SIMD=${ABG_SIMD:-auto} (DTW kernel tier; see src/distance/simd.hpp)"
+
 # Map the abagnale_cli/status.hpp exit codes to their error classes.
 decode_exit_class() {
   case "$1" in
@@ -58,11 +66,13 @@ run_stage "benchmarks" run_benches
 # Run-to-run perf gate: the DTW kernel alone (so the cells/evals ratio is
 # invariant to benchmark iteration counts) against the committed baseline.
 # A drifting ratio means the kernel started doing different work per eval —
-# abg_report exits 1 and the stage fails.
+# abg_report exits 1 and the stage fails. ABG_SIMD is pinned to scalar to
+# match the baseline's recorded kernel; abg_report would (correctly) breach
+# on a cross-kernel comparison otherwise.
 perf_report() {
   local tmp
   tmp="$(mktemp -d)"
-  (cd "$tmp" && /root/repo/build/bench/bench_micro \
+  (cd "$tmp" && ABG_SIMD=scalar /root/repo/build/bench/bench_micro \
       --benchmark_filter='^BM_Dtw/1024$' >/dev/null) || return $?
   ./build/tools/abg_report BENCH_baseline.json "$tmp/bench_micro.metrics.json" \
       --require distance.dtw_evals \
@@ -130,6 +140,8 @@ EOF
   # partial still journals everything it did). No --check here: the strict
   # funnel-vs-metrics reconciliation runs in the CI bench-smoke job.
   ./build/tools/abg_inspect funnel /root/repo/batch_search.journal || return $?
+  # Per-kernel cost attribution: which DTW kernel burned the cells this run.
+  ./build/tools/abg_inspect hotspots /root/repo/batch_search.journal --by kernel || return $?
   # A manifest with an unknown key must be rejected with invalid-argument (9)
   # before any job runs.
   echo '{"jobs": [{"traces": ["x.csv"], "timout_s": 5}]}' > "$tmp/typo.json"

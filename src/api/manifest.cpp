@@ -3,6 +3,7 @@
 #include <set>
 #include <utility>
 
+#include "distance/simd.hpp"
 #include "util/json_parse.hpp"
 
 namespace abg::api {
@@ -63,7 +64,7 @@ const std::set<std::string>& known_job_keys() {
       "concretize_budget", "max_depth",  "max_nodes",
       "max_holes",     "warmup_s",       "min_segment_samples",
       "fast_path",     "repair_traces",  "checkpoint",
-      "resume",        "journal"};
+      "resume",        "journal",        "simd"};
   return keys;
 }
 
@@ -151,6 +152,22 @@ util::Status parse_job(const util::JsonValue& j, JobSpec* spec) {
   if (auto st = read_bool(j, "fast_path", &fast_path); !st.is_ok()) return st;
   synth.use_eval_cache = fast_path;
   synth.early_abandon = fast_path;
+  // The batched bytecode path is part of the same "how much work, same
+  // result" family, so the one manifest knob governs all three.
+  synth.batch_replay = fast_path;
+
+  // "simd": pin this job's DTW kernel tier ("scalar"/"sse2"/"avx2"/"auto").
+  // Default auto defers to ABG_SIMD and CPU detection; an unknown name is a
+  // manifest error, not a silent fallback.
+  std::string simd_name;
+  if (auto st = read_string(j, "simd", &simd_name); !st.is_ok()) return st;
+  if (!simd_name.empty()) {
+    const auto parsed = distance::parse_simd(simd_name);
+    if (!parsed) {
+      return bad("'simd' must be one of scalar/sse2/avx2/auto, got '" + simd_name + "'");
+    }
+    synth.simd = *parsed;
+  }
 
   if (auto st = read_bool(j, "repair_traces", &spec->load.repair); !st.is_ok()) return st;
   if (auto st = read_string(j, "checkpoint", &synth.checkpoint_path); !st.is_ok()) return st;

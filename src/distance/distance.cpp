@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "distance/dtw_kernel.hpp"
 #include "obs/journal.hpp"
 #include "obs/registry.hpp"
 
@@ -18,6 +19,7 @@ struct DtwCounters {
   obs::Counter& evals;
   obs::Counter& cells;
   obs::Counter& lb_prunes;
+  obs::Counter& lb_keogh_prunes;
   obs::Counter& early_abandons;
 };
 
@@ -26,12 +28,94 @@ DtwCounters& dtw_counters() {
     obs::describe("distance.dtw_evals", "DTW evaluations started (prunes included)");
     obs::describe("distance.dtw_cells", "band-aware DP cells actually visited");
     obs::describe("distance.lb_prunes", "DTW evals pruned by the LB_Kim endpoint bound");
+    obs::describe("distance.lb_keogh_prunes", "DTW evals pruned by the LB_Keogh envelope bound");
     obs::describe("distance.early_abandons", "DTW evals abandoned before the DP completed");
     return new DtwCounters{
         obs::counter("distance.dtw_evals"), obs::counter("distance.dtw_cells"),
-        obs::counter("distance.lb_prunes"), obs::counter("distance.early_abandons")};
+        obs::counter("distance.lb_prunes"), obs::counter("distance.lb_keogh_prunes"),
+        obs::counter("distance.early_abandons")};
   }();
   return *c;
+}
+
+// Per-kernel labeled provenance: which kernel did the DP work. Indexed by the
+// resolved Simd value (never kAuto).
+struct KernelCounters {
+  obs::Counter& evals;
+  obs::Counter& cells;
+};
+
+KernelCounters& kernel_counters(Simd k) {
+  static KernelCounters* per = [] {
+    static KernelCounters storage[kSimdKernelCount] = {
+        {obs::counter("distance.dtw_evals", {{"kernel", "scalar"}}),
+         obs::counter("distance.dtw_cells", {{"kernel", "scalar"}})},
+        {obs::counter("distance.dtw_evals", {{"kernel", "sse2"}}),
+         obs::counter("distance.dtw_cells", {{"kernel", "sse2"}})},
+        {obs::counter("distance.dtw_evals", {{"kernel", "avx2"}}),
+         obs::counter("distance.dtw_cells", {{"kernel", "avx2"}})},
+    };
+    return storage;
+  }();
+  return per[static_cast<std::size_t>(k)];
+}
+
+// Band columns for every row (1-based; [0] unused), shared by LB_Keogh and
+// the DP kernels so a single definition of the band exists per call.
+void fill_band(std::size_t n, std::size_t m, double band_frac, std::vector<std::size_t>* j_lo,
+               std::vector<std::size_t>* j_hi) {
+  const std::size_t band =
+      band_frac > 0 ? std::max<std::size_t>(
+                          1, static_cast<std::size_t>(band_frac * static_cast<double>(m)))
+                    : m + n;
+  j_lo->resize(n + 1);
+  j_hi->resize(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Band around the diagonal j ~ i * m / n.
+    const auto center = static_cast<std::size_t>(static_cast<double>(i) *
+                                                 static_cast<double>(m) / static_cast<double>(n));
+    (*j_lo)[i] = center > band ? center - band : 1;
+    (*j_hi)[i] = std::min(m, center + band);
+  }
+}
+
+// Raw-units LB_Keogh: every warping path visits each row i at some in-band
+// column j, paying at least a_i's distance to the [min, max] envelope of b
+// over that window. Window edges are non-decreasing in i, so two monotonic
+// deques give O(n + m) total. The partial sum is already a lower bound, so
+// the scan exits as soon as it meets the cutoff.
+double lb_keogh_raw(std::span<const double> a, std::span<const double> b,
+                    std::span<const std::size_t> j_lo, std::span<const std::size_t> j_hi,
+                    double raw_cutoff) {
+  const std::size_t n = a.size();
+  std::vector<std::size_t> qmin, qmax;  // deques of b indices; front = extreme
+  qmin.reserve(b.size());
+  qmax.reserve(b.size());
+  std::size_t hmin = 0, hmax = 0;  // head offsets
+  std::size_t pushed = 0;          // b[0, pushed) admitted to the deques
+  double lb = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (; pushed < j_hi[i]; ++pushed) {
+      const double v = b[pushed];
+      while (qmax.size() > hmax && b[qmax.back()] <= v) qmax.pop_back();
+      qmax.push_back(pushed);
+      while (qmin.size() > hmin && b[qmin.back()] >= v) qmin.pop_back();
+      qmin.push_back(pushed);
+    }
+    const std::size_t wlo = j_lo[i] - 1;
+    while (qmax[hmax] < wlo) ++hmax;
+    while (qmin[hmin] < wlo) ++hmin;
+    const double upper = b[qmax[hmax]];
+    const double lower = b[qmin[hmin]];
+    const double v = a[i - 1];
+    if (v > upper) {
+      lb += v - upper;
+    } else if (v < lower) {
+      lb += lower - v;
+    }
+    if (lb >= raw_cutoff) return lb;
+  }
+  return lb;
 }
 
 }  // namespace
@@ -71,11 +155,13 @@ std::vector<double> resample(std::span<const double> in, std::size_t n) {
 }
 
 double dtw(std::span<const double> a, std::span<const double> b, double band_frac,
-           double abandon_above) {
+           double abandon_above, Simd simd) {
   const std::size_t n = a.size(), m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
   constexpr double kInf = std::numeric_limits<double>::infinity();
   DtwCounters& c = dtw_counters();
+  const Simd kern = resolve_simd(simd);
+  const auto kern_byte = static_cast<std::uint8_t>(kern);
   // Raw-to-normalized scale for this pair (the return value and every bound
   // are in d / (n+m) * 2 units).
   const double norm = 2.0 / static_cast<double>(n + m);
@@ -88,7 +174,7 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
     c.lb_prunes.add();
     c.early_abandons.add();
     if (obs::journal_enabled()) {
-      obs::journal_record_distance(obs::JournalKind::kLbPrune, abandon_above, 0);
+      obs::journal_record_distance(obs::JournalKind::kLbPrune, abandon_above, 0, kern_byte);
     }
     return kInf;
   }
@@ -102,58 +188,66 @@ double dtw(std::span<const double> a, std::span<const double> b, double band_fra
       c.lb_prunes.add();
       c.early_abandons.add();
       if (obs::journal_enabled()) {
-        obs::journal_record_distance(obs::JournalKind::kLbPrune, lb * norm, 0);
+        obs::journal_record_distance(obs::JournalKind::kLbPrune, lb * norm, 0, kern_byte);
       }
       return kInf;
     }
   }
-  // Rolling two-row DP. Band half-width in columns.
-  const std::size_t band =
-      band_frac > 0 ? std::max<std::size_t>(
-                          1, static_cast<std::size_t>(band_frac * static_cast<double>(m)))
-                    : m + n;
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
-  prev[0] = 0.0;
-  std::uint64_t cells = 0;  // DP cells actually visited (band-aware)
-  for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), kInf);
-    // Band around the diagonal j ~ i * m / n.
-    const auto center = static_cast<std::size_t>(static_cast<double>(i) *
-                                                 static_cast<double>(m) / static_cast<double>(n));
-    const std::size_t j_lo = center > band ? center - band : 1;
-    const std::size_t j_hi = std::min(m, center + band);
-    double row_min = kInf;
-    for (std::size_t j = j_lo; j <= j_hi; ++j) {
-      const double cost = std::fabs(a[i - 1] - b[j - 1]);
-      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
-      if (best < kInf) cur[j] = cost + best;
-      row_min = std::min(row_min, cur[j]);
-    }
-    if (j_hi >= j_lo) cells += j_hi - j_lo + 1;
-    // Cumulative cell values only grow down/right (non-negative step costs),
-    // so once a whole row meets the cutoff the final cost must too.
-    if (std::isfinite(raw_cutoff) && row_min >= raw_cutoff) {
+  // One band definition per call, shared by LB_Keogh and the DP kernel.
+  std::vector<std::size_t> j_lo, j_hi;
+  fill_band(n, m, band_frac, &j_lo, &j_hi);
+  if (std::isfinite(raw_cutoff)) {
+    // LB_Keogh envelope cascade: O(n+m), runs only when LB_Kim let the pair
+    // through and a finite bound exists to beat.
+    const double lb = lb_keogh_raw(a, b, j_lo, j_hi, raw_cutoff);
+    if (lb >= raw_cutoff) {
       c.evals.add();
-      c.cells.add(cells);
+      c.lb_keogh_prunes.add();
       c.early_abandons.add();
       if (obs::journal_enabled()) {
-        obs::journal_record_distance(obs::JournalKind::kRowAbandon, row_min * norm, cells);
+        obs::journal_record_distance(obs::JournalKind::kLbKeoghPrune, lb * norm, 0, kern_byte);
       }
       return kInf;
     }
-    std::swap(prev, cur);
+  }
+  const detail::BandSpec band{j_lo, j_hi};
+  detail::DtwRun run;
+  switch (kern) {
+    case Simd::kAvx2: run = detail::dtw_dp_avx2(a, b, band, raw_cutoff); break;
+    case Simd::kSse2: run = detail::dtw_dp_sse2(a, b, band, raw_cutoff); break;
+    default: run = detail::dtw_dp_scalar(a, b, band, raw_cutoff); break;
   }
   // One relaxed add per eval, not per cell: counting stays off the DP loop.
   c.evals.add();
-  c.cells.add(cells);
+  c.cells.add(run.cells);
+  KernelCounters& kc = kernel_counters(kern);
+  kc.evals.add();
+  kc.cells.add(run.cells);
+  if (run.abandoned) {
+    c.early_abandons.add();
+    if (obs::journal_enabled()) {
+      obs::journal_record_distance(obs::JournalKind::kRowAbandon, run.abandon_bound * norm,
+                                   run.cells, kern_byte);
+    }
+    return kInf;
+  }
   // Normalize by path length scale so distances are comparable across
   // segment sizes.
-  const double d = prev[m];
+  const double d = run.raw;
   const double nd = std::isfinite(d) ? d * norm : kInf;
   if (obs::journal_enabled()) {
-    obs::journal_record_distance(obs::JournalKind::kDtwEval, nd, cells);
+    obs::journal_record_distance(obs::JournalKind::kDtwEval, nd, run.cells, kern_byte);
   }
   return nd;
+}
+
+double lb_keogh(std::span<const double> a, std::span<const double> b, double band_frac) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<std::size_t> j_lo, j_hi;
+  fill_band(n, m, band_frac, &j_lo, &j_hi);
+  const double norm = 2.0 / static_cast<double>(n + m);
+  return lb_keogh_raw(a, b, j_lo, j_hi, std::numeric_limits<double>::infinity()) * norm;
 }
 
 namespace {
@@ -251,7 +345,7 @@ double compute(Metric m, std::span<const double> a, std::span<const double> b,
     ub = sb;
   }
   switch (m) {
-    case Metric::kDtw: return dtw(ua, ub, opts.dtw_band_frac, abandon_above);
+    case Metric::kDtw: return dtw(ua, ub, opts.dtw_band_frac, abandon_above, opts.simd);
     case Metric::kEuclidean: return euclidean(ua, ub);
     case Metric::kManhattan: return manhattan(ua, ub);
     case Metric::kFrechet: return frechet(ua, ub);

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "distance/simd.hpp"
+
 namespace abg::distance {
 
 enum class Metric {
@@ -32,6 +34,9 @@ struct DistanceOptions {
   // Sakoe-Chiba band half-width for DTW as a fraction of the series length;
   // <= 0 means unconstrained.
   double dtw_band_frac = 0.0;
+  // DTW kernel selection (kAuto: ABG_SIMD env, then CPU detection). Purely a
+  // speed knob — every kernel is bit-identical (see simd.hpp).
+  Simd simd = Simd::kAuto;
 };
 
 // Sentinel for "no early-abandon bound": evaluate the metric exactly.
@@ -45,17 +50,34 @@ std::vector<double> resample(std::span<const double> in, std::size_t n);
 //
 // `abandon_above` is a UCR-suite-style early-abandon bound: once it is
 // certain the (normalized) distance will be >= abandon_above, the DP stops
-// and +inf is returned. Two pruning levels run, both exact:
+// and +inf is returned. Three pruning levels cascade, cheapest first, all
+// exact:
 //   * an O(1) LB_Kim-style lower bound over the endpoint cells (every
 //     warping path must include (0,0) and (n-1,m-1)), checked before any
 //     DP row is allocated ("distance.lb_prunes"),
-//   * a per-row check — every cumulative cell value lower-bounds the final
+//   * an O(n+m) LB_Keogh envelope bound — each row's cheapest in-band step
+//     cost, summed ("distance.lb_keogh_prunes"),
+//   * an in-DP check — every cumulative cell value lower-bounds the final
 //     path cost, so when the minimum of a finished row already meets the
 //     bound, no extension can come back under it ("distance.early_abandons").
 // With abandon_above = kNoAbandon the result is bit-identical to the
 // unbounded evaluation.
+//
+// `simd` picks the DP kernel (see simd.hpp); the exact-or-+inf result is
+// kernel-independent bit for bit, so callers may treat it as a pure speed
+// knob. The resolved kernel is stamped on journal detail events and the
+// per-kernel labeled distance.* counters.
 double dtw(std::span<const double> a, std::span<const double> b, double band_frac = 0.0,
-           double abandon_above = kNoAbandon);
+           double abandon_above = kNoAbandon, Simd simd = Simd::kAuto);
+
+// Normalized LB_Keogh envelope lower bound on dtw(a, b, band_frac): for each
+// a-row, the distance from a's value to the [min, max] envelope of b over
+// that row's band window. Admissible in exact arithmetic AND under IEEE-754
+// rounding (each row term is a single monotone subtraction below the row's
+// true step cost, and both sides accumulate in the same row order), so
+// lb_keogh() <= dtw() holds bitwise — the property the admissibility test
+// asserts and the prune cascade relies on.
+double lb_keogh(std::span<const double> a, std::span<const double> b, double band_frac = 0.0);
 
 // L2 distance between series resampled to a common length, normalized by
 // sqrt(length) so it is series-length independent.

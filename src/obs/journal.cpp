@@ -162,6 +162,7 @@ const char* journal_kind_name(JournalKind k) {
     case JournalKind::kLbPrune: return "lb_prune";
     case JournalKind::kRowAbandon: return "row_abandon";
     case JournalKind::kDtwEval: return "dtw_eval";
+    case JournalKind::kLbKeoghPrune: return "lb_keogh_prune";
   }
   return "?";
 }
@@ -368,7 +369,8 @@ void journal_record_candidate(JournalKind kind, double distance, std::uint64_t c
   push(r);
 }
 
-void journal_record_distance(JournalKind kind, double distance, std::uint64_t cells) {
+void journal_record_distance(JournalKind kind, double distance, std::uint64_t cells,
+                             std::uint8_t kernel) {
   if (!journal_in_candidate()) return;
   Tls& t = t_journal;
   t.cells += cells;
@@ -382,6 +384,7 @@ void journal_record_distance(JournalKind kind, double distance, std::uint64_t ce
   r.iter = t.iter;
   r.segment = t.segment;
   r.kind = static_cast<std::uint8_t>(kind);
+  r.kernel = kernel;
   push(r);
 }
 
@@ -474,6 +477,8 @@ void journal_emit_trace_counters() {
     w.begin_object();
     w.key("lb_prune");
     w.value(kind(JournalKind::kLbPrune));
+    w.key("lb_keogh_prune");
+    w.value(kind(JournalKind::kLbKeoghPrune));
     w.key("row_abandon");
     w.value(kind(JournalKind::kRowAbandon));
     w.key("dtw_eval");

@@ -49,8 +49,9 @@ enum class JournalKind : std::uint8_t {
   kLbPrune,        // one DTW eval pruned by the LB_Kim endpoint bound
   kRowAbandon,     // one DTW eval abandoned mid-DP (row minimum >= cutoff)
   kDtwEval,        // one completed DTW eval (cells = band-aware DP cells)
+  kLbKeoghPrune,   // one DTW eval pruned by the LB_Keogh envelope bound
 };
-inline constexpr std::size_t kJournalKindCount = 9;
+inline constexpr std::size_t kJournalKindCount = 10;
 
 const char* journal_kind_name(JournalKind k);
 
@@ -75,7 +76,8 @@ struct JournalRecord {
   std::uint32_t detail = 0;     // interned string (selected handler text)
   std::uint8_t kind = 0;        // JournalKind
   std::uint8_t flags = 0;
-  std::uint8_t pad[2] = {0, 0};
+  std::uint8_t kernel = 0;      // distance events: DTW kernel (distance::Simd)
+  std::uint8_t pad = 0;
 };
 static_assert(sizeof(JournalRecord) == 64, "journal records are 64-byte");
 
@@ -168,10 +170,13 @@ std::uint64_t journal_fingerprint(std::uint64_t sketch_hash,
 // journal_in_candidate().
 void journal_record_candidate(JournalKind kind, double distance, std::uint64_t cells);
 
-// Distance-layer detail event (kLbPrune/kRowAbandon/kDtwEval): additionally
-// charges `cells` to the candidate tally and stamps the current segment.
+// Distance-layer detail event (kLbPrune/kLbKeoghPrune/kRowAbandon/kDtwEval):
+// additionally charges `cells` to the candidate tally, stamps the current
+// segment, and records which DTW kernel produced it (`kernel` is the numeric
+// value of distance::Simd for the resolved kernel; 0 = scalar).
 // No-op unless journal_in_candidate().
-void journal_record_distance(JournalKind kind, double distance, std::uint64_t cells);
+void journal_record_distance(JournalKind kind, double distance, std::uint64_t cells,
+                             std::uint8_t kernel = 0);
 
 // Sketch emitted by the enumerator. No-op unless journal_in_scope().
 void journal_record_sketch(std::uint64_t sketch_hash);

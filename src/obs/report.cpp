@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 
 #include "obs/json.hpp"
@@ -9,10 +10,46 @@
 
 namespace abg::obs {
 
+namespace {
+// Leaked on purpose (like the metric Registry): set_report_meta is first
+// called lazily from hot paths, i.e. after main() may already have queued
+// write_metrics_json_at_exit, so a destructible static here would be torn
+// down before that atexit writer reads it.
+std::mutex& meta_mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+std::map<std::string, std::string>& meta_map() {
+  static auto* m = new std::map<std::string, std::string>;
+  return *m;
+}
+}  // namespace
+
+void set_report_meta(const std::string& key, const std::string& value) {
+  std::lock_guard lk(meta_mu());
+  meta_map()[key] = value;
+}
+
+std::vector<std::pair<std::string, std::string>> report_meta() {
+  std::lock_guard lk(meta_mu());
+  return {meta_map().begin(), meta_map().end()};
+}
+
 std::string metrics_json() {
   const Snapshot s = snapshot();
+  const auto meta = report_meta();
   JsonWriter w;
   w.begin_object();
+
+  if (!meta.empty()) {
+    w.key("meta");
+    w.begin_object();
+    for (const auto& [k, v] : meta) {
+      w.key(k);
+      w.value(v);
+    }
+    w.end_object();
+  }
 
   w.key("counters");
   w.begin_object();

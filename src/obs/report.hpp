@@ -10,14 +10,29 @@
 //                                      "count": 4, "sum": ..., "min": ...,
 //                                      "max": ...}, ...}
 //   }
+//
+// When any report metadata has been set (set_report_meta), the snapshot also
+// carries a "meta" object of string facts about the run environment — e.g.
+// {"meta": {"simd_kernel": "avx2"}} — so downstream comparators (abg_report)
+// can refuse apples-to-oranges diffs such as cross-kernel perf gates.
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace abg::obs {
 
 // Serialize the current registry snapshot.
 std::string metrics_json();
+
+// Attach a string fact to every subsequent metrics_json() snapshot. Later
+// calls with the same key overwrite. Thread-safe; cheap enough for guarded
+// hot-path use but callers should still only set on change.
+void set_report_meta(const std::string& key, const std::string& value);
+
+// Current metadata, sorted by key (tests, exporters).
+std::vector<std::pair<std::string, std::string>> report_meta();
 
 // Write metrics_json() to `path`. False on I/O failure.
 bool write_metrics_json(const std::string& path);

@@ -1,0 +1,28 @@
+// Batched candidate replay (ISSUE 7): run one compiled sketch over a trace
+// segment for up to dsl::kBatchLanes hole-assignments in lockstep. Each lane
+// carries only its own evolving CWND; the observed signals broadcast. Lane
+// L's synthesized series is bit-identical to
+// replay(*fill_holes(sketch, assigns[L]), segment, opts) — asserted by the
+// fuzz suite in tests/test_data_parallel.cpp — so the distance layer, the
+// eval cache, and selection cannot tell the batched path from the scalar
+// one.
+#pragma once
+
+#include <vector>
+
+#include "dsl/bytecode.hpp"
+#include "synth/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace abg::synth {
+
+// Replay `prog` (compiled from a sketch) over `segment` once per assignment.
+// `assigns` holds one hole-binding vector per lane (at most dsl::kBatchLanes;
+// bindings follow fill_holes's clamp rules). out->at(L) receives lane L's
+// synthesized CWND series in packets.
+void replay_batch(const dsl::Program& prog,
+                  const std::vector<const std::vector<double>*>& assigns,
+                  const trace::Segment& segment, const ReplayOptions& opts,
+                  std::vector<std::vector<double>>* out);
+
+}  // namespace abg::synth

@@ -12,6 +12,8 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_events.hpp"
+#include "dsl/bytecode.hpp"
+#include "synth/batch_eval.hpp"
 #include "synth/checkpoint.hpp"
 #include "synth/replay.hpp"
 #include "trace/sampler.hpp"
@@ -46,6 +48,181 @@ std::uint64_t label_seed(const std::string& label, std::uint64_t seed) {
   std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
   for (char c : label) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
   return h;
+}
+
+// The effective distance options for a run: SynthesisOptions::simd, when
+// explicit, wins over whatever dopts carries (one knob, not two).
+distance::DistanceOptions effective_dopts(const SynthesisOptions& opts) {
+  distance::DistanceOptions dopts = opts.dopts;
+  if (opts.simd != distance::Simd::kAuto) dopts.simd = opts.simd;
+  return dopts;
+}
+
+// One candidate of the batched scoring window (ISSUE 7). Candidates join
+// the window in enumeration order; cache hits arrive with their distance,
+// misses stay pending until a lane-batch flush evaluates them.
+struct BatchEntry {
+  const std::vector<double>* assign = nullptr;
+  dsl::ExprPtr handler;
+  std::uint64_t fp = 0;
+  dsl::ExprPtr canon;          // only with a cache
+  std::size_t canon_hash = 0;  // only with a cache
+  double d = std::numeric_limits<double>::infinity();
+  bool pending = false;
+};
+
+// Batched replacement for score_sketch's scalar candidate loop. Selection
+// stays bit-identical to the scalar loop for every result the refinement
+// loop consumes: pending candidates are evaluated against the cutoff as it
+// stood when their window opened (c0), which can only make their distance
+// MORE exact than the scalar path's (+inf from a tighter mid-window bound),
+// and score_sketch's contract already allows exact-or-+inf above the
+// caller's bound. Best/cutoff updates happen in an in-order walk at flush,
+// so the winner and the cutoff entering every later window match the scalar
+// loop's exactly (the golden fast-path test pins this).
+ScoredHandler score_sketch_batched(const dsl::ExprPtr& sketch,
+                                   const std::vector<trace::Segment>& segments,
+                                   const std::vector<std::vector<double>>& assignments,
+                                   const SynthesisOptions& opts,
+                                   const distance::DistanceOptions& dopts,
+                                   std::size_t* handlers_scored, EvalContext* ctx,
+                                   bool jrn, std::uint64_t sketch_hash,
+                                   std::size_t* evaluated_out) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ScoredHandler best;
+  best.sketch = sketch;
+  EvalCache* cache = ctx ? ctx->cache : nullptr;
+  const bool abandon = opts.early_abandon;
+  double cutoff = (abandon && ctx) ? ctx->abandon_above : kInf;
+
+  // Compiled once per sketch; every lane of every window reuses it. The
+  // observed series are candidate-independent, so they are shared too.
+  std::optional<dsl::Program> prog;
+  std::vector<std::vector<double>> observed;
+
+  std::vector<BatchEntry> window;
+  window.reserve(2 * dsl::kBatchLanes);
+  std::size_t n_pending = 0;
+  std::size_t evaluated = 0;
+
+  auto flush = [&] {
+    if (!window.empty() && n_pending > 0) {
+      std::vector<const std::vector<double>*> lanes;
+      std::vector<std::size_t> lane_entry;
+      lanes.reserve(n_pending);
+      lane_entry.reserve(n_pending);
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        if (window[i].pending) {
+          lanes.push_back(window[i].assign);
+          lane_entry.push_back(i);
+        }
+      }
+      if (!prog) prog.emplace(dsl::compile(*sketch));
+      if (observed.empty() && !segments.empty()) {
+        observed.reserve(segments.size());
+        for (const auto& seg : segments) observed.push_back(observed_series_pkts(seg));
+      }
+      // All lanes replay under the window-entry cutoff c0: the scalar loop
+      // would have tightened it mid-window, but a looser bound only turns
+      // would-be +inf results exact (see the contract note above).
+      const double c0 = cutoff;
+      const bool bounded = std::isfinite(c0);
+      std::vector<std::vector<std::vector<double>>> synth(segments.size());
+      for (std::size_t s = 0; s < segments.size(); ++s) {
+        replay_batch(*prog, lanes, segments[s], {}, &synth[s]);
+      }
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        BatchEntry& e = window[lane_entry[k]];
+        // Re-open the candidate's journal bracket so this lane's DTW detail
+        // events (and the cell tally) attribute to it, exactly as the
+        // scalar loop's single bracket would.
+        if (jrn) obs::journal_begin_candidate(sketch_hash, e.fp);
+        double sum = 0.0;
+        bool abandoned = false;
+        for (std::size_t s = 0; s < segments.size(); ++s) {
+          if (obs::journal_enabled()) obs::journal_set_segment(static_cast<std::uint32_t>(s));
+          sum += distance::compute(opts.metric, synth[s][k], observed[s], dopts,
+                                   bounded ? c0 - sum : distance::kNoAbandon);
+          if (bounded && sum >= c0) {
+            static auto& c_ab = obs::counter("synth.distance_abandons");
+            c_ab.add();
+            abandoned = true;
+            break;
+          }
+        }
+        const double d = abandoned ? kInf : sum;
+        if (cache && d < c0) {
+          cache->insert(ctx->fingerprint, e.canon_hash, std::move(e.canon), d);
+        }
+        if (jrn) {
+          obs::journal_record_candidate(std::isfinite(d) ? obs::JournalKind::kEvaluated
+                                                         : obs::JournalKind::kAbandoned,
+                                        d, obs::journal_take_cells());
+          obs::journal_end_candidate();
+        }
+        e.d = d;
+        e.pending = false;
+      }
+    }
+    // In-order walk: identical update rule (and therefore identical winner,
+    // tie-breaks included) to the scalar loop.
+    for (const auto& e : window) {
+      if (e.d < best.distance) {
+        best.distance = e.d;
+        best.handler = e.handler;
+        best.fingerprint = e.fp;
+        if (abandon) cutoff = std::min(cutoff, e.d);
+      }
+    }
+    window.clear();
+    n_pending = 0;
+  };
+
+  for (const auto& assign : assignments) {
+    if (ctx && ctx->cancel && ctx->cancel->cancelled()) {
+      // Settle the in-flight window first — its candidates are already in
+      // the journal funnel and must reach a terminal — then stop as soon as
+      // a valid best exists, like the scalar loop's poll point.
+      flush();
+      if (best.valid()) break;
+    }
+    ++evaluated;
+    std::uint64_t fp = 0;
+    if (jrn) {
+      fp = obs::journal_fingerprint(sketch_hash, assign);
+      obs::journal_begin_candidate(sketch_hash, fp);
+      obs::journal_record_candidate(obs::JournalKind::kEnumerated, cutoff, 0);
+    }
+    BatchEntry e;
+    e.assign = &assign;
+    e.handler = dsl::fill_holes(sketch, assign);
+    e.fp = fp;
+    bool cached = false;
+    if (cache) {
+      e.canon = dsl::canonicalize(e.handler);
+      e.canon_hash = dsl::hash_expr(*e.canon);
+      if (auto hit = cache->lookup(ctx->fingerprint, e.canon_hash, *e.canon)) {
+        e.d = *hit;
+        cached = true;
+      }
+      if (cached && ctx->cache_hit_tally) {
+        ctx->cache_hit_tally->fetch_add(1, std::memory_order_relaxed);
+      } else if (!cached && ctx->cache_miss_tally) {
+        ctx->cache_miss_tally->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (jrn) obs::journal_end_candidate();
+    if (handlers_scored) ++*handlers_scored;
+    if (!cached) {
+      e.pending = true;
+      ++n_pending;
+    }
+    window.push_back(std::move(e));
+    if (n_pending >= dsl::kBatchLanes) flush();
+  }
+  flush();
+  *evaluated_out = evaluated;
+  return best;
 }
 
 }  // namespace
@@ -114,7 +291,15 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
   // enumerator recorded. Fingerprints then pin each hole assignment.
   const bool jrn = obs::journal_in_scope();
   const std::uint64_t sketch_hash = jrn ? dsl::hash_expr(*sketch) : 0;
+  const distance::DistanceOptions dopts = effective_dopts(opts);
   std::size_t evaluated = 0;
+  if (opts.batch_replay) {
+    best = score_sketch_batched(sketch, segments, assignments, opts, dopts, handlers_scored,
+                                ctx, jrn, sketch_hash, &evaluated);
+    static auto& c_scored = obs::counter("synth.handlers_scored");
+    c_scored.add(evaluated);
+    return best;
+  }
   for (const auto& assign : assignments) {
     // Cancellation poll point: once a valid best exists, a fired token stops
     // this sketch immediately and the caller keeps the best-so-far.
@@ -151,7 +336,7 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
       }
     }
     if (!cached) {
-      d = total_distance(*handler, segments, opts.metric, opts.dopts, {}, cutoff);
+      d = total_distance(*handler, segments, opts.metric, dopts, {}, cutoff);
       // Only exact values may be shared: a result at or above the cutoff can
       // be a truncated lower bound from an abandoned evaluation.
       if (cache && d < cutoff) {
@@ -192,16 +377,22 @@ std::optional<std::pair<std::size_t, std::size_t>> SynthesisResult::bucket_rank(
 }
 
 SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment>& segments,
-                           const SynthesisOptions& opts) {
+                           const SynthesisOptions& opts_in) {
   util::Stopwatch total_clock;
   SynthesisResult result;
 
   // Eager options validation (ISSUE 4): a bad knob fails here, before any
   // enumerator, pool, or checkpoint work, with the field named in the status.
-  if (auto st = opts.validate(); !st.is_ok()) {
+  if (auto st = opts_in.validate(); !st.is_ok()) {
     result.status = st.with_context("SynthesisOptions");
     return result;
   }
+
+  // Fold the run-level SIMD choice into the distance options once, so every
+  // downstream distance — bucket scoring and final validation alike — runs
+  // the same kernel (ISSUE 7).
+  SynthesisOptions opts = opts_in;
+  opts.dopts = effective_dopts(opts);
 
   // All interrupt sources — the deadline watchdog, a caller-supplied token,
   // and injected faults — funnel into one local token polled at every safe

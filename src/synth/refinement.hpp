@@ -89,6 +89,20 @@ struct SynthesisOptions {
   // "synth.distance_abandons").
   bool early_abandon = true;
 
+  // --- Data-parallel evaluation (ISSUE 7). Like the fast-path knobs above,
+  // both change only how much work is done per result, never the result the
+  // refinement loop consumes (same golden test).
+  // Compile each sketch to bytecode once and replay one segment across up to
+  // dsl::kBatchLanes hole-assignments in lockstep instead of tree-walking
+  // every concretization separately. A manifest's "fast_path": false turns
+  // this off together with the cache/abandon knobs.
+  bool batch_replay = true;
+  // DTW kernel tier for every distance this run computes. kAuto defers to
+  // ABG_SIMD and then to CPU detection (see distance::resolve_simd); an
+  // explicit tier here wins over the environment. Overrides dopts.simd when
+  // not kAuto, so callers configure one field, not two.
+  distance::Simd simd = distance::Simd::kAuto;
+
   // --- Search forensics (ISSUE 6). When true AND a process-wide journal is
   // armed (obs::journal_start), this run emits one event per candidate
   // lifecycle step with full provenance. With no journal armed the cost is

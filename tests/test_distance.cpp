@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "distance/distance.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace abg::distance {
@@ -258,6 +259,49 @@ TEST(ComputeAbandon, ThreadsBoundThroughToDtw) {
   // Non-DTW metrics evaluate exactly regardless of the bound.
   const double euc = compute(Metric::kEuclidean, a, b, opts);
   EXPECT_DOUBLE_EQ(compute(Metric::kEuclidean, a, b, opts, euc * 0.01), euc);
+}
+
+TEST(LbKeogh, IsAdmissibleOnRandomSeries) {
+  // The envelope bound must never exceed the true DTW distance — not just in
+  // exact arithmetic but bitwise under IEEE-754 rounding (each row term is a
+  // monotone subtraction below the row's true step cost, and both sides
+  // accumulate row by row), because the prune cascade compares the two
+  // directly. A violation here would make the cascade prune a winner.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 120));
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 120));
+    std::vector<double> a(n), b(m);
+    double wa = rng.uniform(-10, 10), wb = rng.uniform(-10, 10);
+    for (auto& x : a) x = (wa += rng.uniform(-1, 1));
+    for (auto& x : b) x = (wb += rng.uniform(-1, 1));
+    for (double frac : {0.0, 0.05, 0.2, 0.5}) {
+      const double lb = lb_keogh(a, b, frac);
+      const double d = dtw(a, b, frac);
+      EXPECT_LE(lb, d) << "n=" << n << " m=" << m << " frac=" << frac;
+    }
+  }
+}
+
+TEST(LbKeogh, TightOnSeparatedConstantSeries) {
+  // A constant vertical gap has every in-band step cost exactly the gap, so
+  // the envelope bound equals the true distance: admissible AND attained.
+  const std::vector<double> a(40, 0.0), b(40, 5.0);
+  EXPECT_DOUBLE_EQ(lb_keogh(a, b), dtw(a, b));
+}
+
+TEST(LbKeogh, CascadePrunesHopelessPairBeforeTheDp) {
+  // A pair LB_Kim lets through (equal endpoints) but whose banded interior
+  // is far apart: the envelope cascade must prune it without running the DP,
+  // counted under its own stage counter. (The band matters: an unconstrained
+  // window spans b's zero endpoints and the envelope bound collapses to 0.)
+  std::vector<double> a(100, 0.0), b(100, 0.0);
+  for (std::size_t i = 1; i + 1 < b.size(); ++i) b[i] = 50.0;
+  const double lb = lb_keogh(a, b, 0.05);
+  ASSERT_GT(lb, 1.0);
+  const std::uint64_t before = obs::counter("distance.lb_keogh_prunes").value();
+  EXPECT_TRUE(std::isinf(dtw(a, b, 0.05, 1.0)));
+  EXPECT_EQ(obs::counter("distance.lb_keogh_prunes").value(), before + 1);
 }
 
 }  // namespace

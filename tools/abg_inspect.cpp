@@ -21,9 +21,11 @@
 //       The K candidates (default 10) that came closest to beating the run
 //       winner, with their distance gap.
 //
-//   abg_inspect hotspots j.journal [--by bucket|segment]
-//       Where DTW cells were spent, by bucket (default) or working-set
-//       segment index.
+//   abg_inspect hotspots j.journal [--by bucket|segment|kernel]
+//       Where DTW cells were spent, by bucket (default), working-set segment
+//       index, or the DTW kernel that burned them (scalar/sse2/avx2 — each
+//       distance event is stamped with the resolved distance::Simd tier, so a
+//       mixed-kernel run shows exactly which tier did the work).
 //
 //   abg_inspect diff a.journal b.journal
 //       Funnel deltas between two runs of the same workload (canonically:
@@ -58,7 +60,7 @@ int usage() {
       "  funnel <j> [--job NAME] [--by bucket|sketch|iteration] [--check metrics.json]\n"
       "  why <j> <fingerprint>\n"
       "  near-misses <j> [--top K]\n"
-      "  hotspots <j> [--by bucket|segment]\n"
+      "  hotspots <j> [--by bucket|segment|kernel]\n"
       "  diff <a.journal> <b.journal>\n");
   return abg::util::exit_code(abg::util::StatusCode::kInvalidArgument);
 }
@@ -92,8 +94,11 @@ struct Funnel {
   }
 };
 
-enum class GroupBy { kBucket, kSketch, kIteration, kSegment };
+enum class GroupBy { kBucket, kSketch, kIteration, kSegment, kKernel };
 
+// `allow_segment` distinguishes the two --by vocabularies: funnel groups by
+// search structure (bucket/sketch/iteration), hotspots by cost location
+// (bucket/segment/kernel).
 bool parse_group_by(const std::string& s, GroupBy* out, bool allow_segment) {
   if (s == "bucket") {
     *out = GroupBy::kBucket;
@@ -103,10 +108,27 @@ bool parse_group_by(const std::string& s, GroupBy* out, bool allow_segment) {
     *out = GroupBy::kIteration;
   } else if (s == "segment" && allow_segment) {
     *out = GroupBy::kSegment;
+  } else if (s == "kernel" && allow_segment) {
+    *out = GroupBy::kKernel;
   } else {
     return false;
   }
   return true;
+}
+
+// Names mirror distance::Simd's numeric values; the journal stores the raw
+// byte so this tool does not have to link the distance library.
+std::string kernel_name(std::uint8_t kernel) {
+  switch (kernel) {
+    case 0: return "scalar";
+    case 1: return "sse2";
+    case 2: return "avx2";
+    default: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "kernel%u", kernel);
+      return buf;
+    }
+  }
 }
 
 std::string group_key(const JournalFile& jf, const JournalRecord& r, GroupBy by) {
@@ -127,6 +149,8 @@ std::string group_key(const JournalFile& jf, const JournalRecord& r, GroupBy by)
       if (r.segment == abg::obs::kJournalNoSegment) return "(none)";
       std::snprintf(buf, sizeof(buf), "seg %u", r.segment);
       return buf;
+    case GroupBy::kKernel:
+      return kernel_name(r.kernel);
   }
   return "?";
 }
@@ -361,23 +385,27 @@ int cmd_hotspots(int argc, char** argv) {
       return usage();
     }
   }
-  if (by != GroupBy::kBucket && by != GroupBy::kSegment) return usage();
+  if (by != GroupBy::kBucket && by != GroupBy::kSegment && by != GroupBy::kKernel) return usage();
 
   JournalFile jf;
   if (int rc = load(argv[2], &jf); rc != 0) return rc;
 
   struct Spot {
-    std::uint64_t cells = 0, evals = 0, row_abandons = 0, lb_prunes = 0;
+    std::uint64_t cells = 0, evals = 0, row_abandons = 0, lb_prunes = 0, keogh_prunes = 0;
   };
   std::map<std::string, Spot> spots;
   std::uint64_t total_cells = 0;
   for (const auto& r : jf.records) {
     const bool costed = is_kind(r, JournalKind::kDtwEval) || is_kind(r, JournalKind::kRowAbandon);
-    if (!costed && !is_kind(r, JournalKind::kLbPrune)) continue;
+    if (!costed && !is_kind(r, JournalKind::kLbPrune) &&
+        !is_kind(r, JournalKind::kLbKeoghPrune)) {
+      continue;
+    }
     Spot& s = spots[group_key(jf, r, by)];
     if (is_kind(r, JournalKind::kDtwEval)) ++s.evals;
     if (is_kind(r, JournalKind::kRowAbandon)) ++s.row_abandons;
     if (is_kind(r, JournalKind::kLbPrune)) ++s.lb_prunes;
+    if (is_kind(r, JournalKind::kLbKeoghPrune)) ++s.keogh_prunes;
     if (costed) {
       s.cells += r.cells;
       total_cells += r.cells;
@@ -387,12 +415,14 @@ int cmd_hotspots(int argc, char** argv) {
   std::vector<std::pair<std::string, Spot>> ranked(spots.begin(), spots.end());
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.second.cells > b.second.cells; });
-  std::printf("%-24s %14s %7s %9s %9s %9s\n", "group", "cells", "share", "dtwevals", "rowabn",
-              "lbprune");
+  std::printf("%-24s %14s %7s %9s %9s %9s %9s\n", "group", "cells", "share", "dtwevals",
+              "rowabn", "lbprune", "lbkeogh");
   for (const auto& [key, s] : ranked) {
     const double share = total_cells > 0 ? 100.0 * s.cells / total_cells : 0.0;
-    std::printf("%-24s %14" PRIu64 " %6.2f%% %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "\n",
-                key.c_str(), s.cells, share, s.evals, s.row_abandons, s.lb_prunes);
+    std::printf("%-24s %14" PRIu64 " %6.2f%% %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+                "\n",
+                key.c_str(), s.cells, share, s.evals, s.row_abandons, s.lb_prunes,
+                s.keogh_prunes);
   }
   return 0;
 }

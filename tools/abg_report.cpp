@@ -33,6 +33,13 @@
 //                           e.g. --require obs.series_overflow=0 turns silent
 //                           label-cardinality overflow into a gate failure.
 //
+// Reports stamped with a "meta" object (e.g. simd_kernel, recorded by
+// distance::resolve_simd) are additionally checked for like-for-like
+// comparison: when both sides carry meta.simd_kernel and they disagree, that
+// is a breach — a DTW work-counter drift measured across different kernels is
+// noise, not a regression. --allow-cross-kernel waives this (for the
+// deliberate scalar-vs-SIMD comparison artifact in CI).
+//
 // Exit: 0 all gates clean, 1 at least one breach, otherwise the usual error
 // classes (3 parse, 7 io, 9 bad arguments).
 #include <cmath>
@@ -41,6 +48,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "util/json_parse.hpp"
@@ -58,6 +66,7 @@ int usage() {
                "  --gate-ratio A/B[=PCT]  fail when the A/B ratio drifts > PCT%% from baseline\n"
                "  --require NAME[=VALUE]  fail when NAME is absent from current (or, with\n"
                "                          =VALUE, when its value is not exactly VALUE)\n"
+               "  --allow-cross-kernel    do not fail when the reports' meta.simd_kernel differ\n"
                "  --list                  print the flattened series of both reports\n");
   return abg::util::exit_code(abg::util::StatusCode::kInvalidArgument);
 }
@@ -70,6 +79,17 @@ using Flat = std::map<std::string, double>;
 const JsonValue* metrics_root(const JsonValue& doc) {
   if (const JsonValue* m = doc.find("metrics"); m && m->find("counters")) return m;
   return doc.find("counters") ? &doc : nullptr;
+}
+
+// meta.simd_kernel of a report, or "" when the report predates meta stamping.
+std::string meta_kernel(const JsonValue& doc) {
+  const JsonValue* root = metrics_root(doc);
+  if (root == nullptr) return "";
+  const JsonValue* meta = root->find("meta");
+  if (meta == nullptr) return "";
+  const JsonValue* kernel = meta->find("simd_kernel");
+  if (kernel == nullptr || !kernel->is_string()) return "";
+  return kernel->as_string();
 }
 
 bool flatten(const JsonValue& doc, Flat* out, std::string* err) {
@@ -170,10 +190,13 @@ int main(int argc, char** argv) {
   std::vector<RatioGate> ratio_gates;
   std::vector<Require> required;
   bool list = false;
+  bool allow_cross_kernel = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--list") {
       list = true;
+    } else if (flag == "--allow-cross-kernel") {
+      allow_cross_kernel = true;
     } else if (flag == "--require" && i + 1 < argc) {
       required.push_back(parse_require(argv[++i]));
     } else if (flag == "--gate" && i + 1 < argc) {
@@ -195,7 +218,9 @@ int main(int argc, char** argv) {
   }
 
   Flat base, cur;
-  for (const auto& [path, flat] : {std::pair{argv[1], &base}, std::pair{argv[2], &cur}}) {
+  std::string base_kernel, cur_kernel;
+  for (const auto& [path, flat, kernel] :
+       {std::tuple{argv[1], &base, &base_kernel}, std::tuple{argv[2], &cur, &cur_kernel}}) {
     auto doc = abg::util::load_json(path);
     if (!doc.ok()) {
       std::fprintf(stderr, "abg_report: %s\n", doc.status().to_string().c_str());
@@ -206,6 +231,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "abg_report: %s: %s\n", path, err.c_str());
       return abg::util::exit_code(abg::util::StatusCode::kParseError);
     }
+    *kernel = meta_kernel(*doc);
   }
 
   if (list) {
@@ -225,6 +251,22 @@ int main(int argc, char** argv) {
     std::printf("\n");
     ++breaches;
   };
+
+  // Like-for-like check: comparing DTW work counters measured under different
+  // kernels is meaningless, so a kernel mismatch is itself a breach unless the
+  // caller says the comparison is deliberately cross-kernel. A report with no
+  // stamp (predates meta, or never touched the distance layer) is exempt.
+  if (!base_kernel.empty() && !cur_kernel.empty() && base_kernel != cur_kernel) {
+    ++checked;
+    if (allow_cross_kernel) {
+      std::printf("ok     meta.simd_kernel: %s -> %s (--allow-cross-kernel)\n",
+                  base_kernel.c_str(), cur_kernel.c_str());
+    } else {
+      breach("meta.simd_kernel: baseline ran '%s' but current ran '%s' (pass "
+             "--allow-cross-kernel if intended)",
+             base_kernel.c_str(), cur_kernel.c_str());
+    }
+  }
 
   for (const auto& req : required) {
     ++checked;
