@@ -15,6 +15,7 @@
 #include "classify/classifier.hpp"
 #include "core/abagnale.hpp"
 #include "net/simulator.hpp"
+#include "util/retry.hpp"
 
 int main(int argc, char** argv) {
   using namespace abg;
@@ -22,26 +23,28 @@ int main(int argc, char** argv) {
   const std::string unknown = argc > 1 ? argv[1] : "student2";
 
   // --- 1. Measure the unknown service under varied conditions. ------------
-  auto envs = net::default_environments(3, /*seed=*/77);
-  for (auto& e : envs) e.duration_s = 15.0;
-  auto traces = net::collect_traces(unknown, envs);
-  const auto usable = [](const std::vector<trace::Trace>& ts) {
-    for (const auto& t : ts) {
-      if (!t.samples.empty()) return true;
-    }
-    return false;
-  };
-  if (!usable(traces)) {
-    // Measurement can come up empty on a degenerate draw; retry the whole
-    // collection once with fresh seeds before giving up.
-    std::fprintf(stderr, "collection produced no samples; retrying with fresh seeds\n");
-    envs = net::default_environments(3, /*seed=*/78);
+  // Measurement can come up empty on a degenerate draw; each retry runs the
+  // whole collection again with fresh seeds before giving up.
+  std::vector<trace::Trace> traces;
+  std::vector<trace::Environment> envs;
+  std::uint64_t seed = 77;
+  util::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_s = 0.0;  // re-simulation is instant; no need to wait
+  policy.retryable = {util::StatusCode::kInvalidTrace};
+  const util::Status st = util::Retry(policy).run([&] {
+    envs = net::default_environments(3, seed++);
     for (auto& e : envs) e.duration_s = 15.0;
     traces = net::collect_traces(unknown, envs);
-    if (!usable(traces)) {
-      std::fprintf(stderr, "collection failed twice; giving up\n");
-      return 1;
+    for (const auto& t : traces) {
+      if (!t.samples.empty()) return util::Status::ok();
     }
+    return util::Status(util::StatusCode::kInvalidTrace,
+                        "collection produced no samples");
+  });
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "%s; giving up\n", st.to_string().c_str());
+    return 1;
   }
   std::printf("collected %zu connections from the unknown CCA\n", traces.size());
 

@@ -12,6 +12,7 @@
 #include "trace/noise.hpp"
 #include "trace/trace_io.hpp"
 #include "util/csv.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 int main(int argc, char** argv) {
@@ -41,13 +42,24 @@ int main(int argc, char** argv) {
   env.duration_s = dur_s;
   env.seed = 1;
 
-  auto t = net::run_connection(cca_name, env);
-  if (t.samples.empty()) {
-    // A degenerate draw (e.g. every packet lost under an extreme loss rate)
-    // can produce an empty trace; one fresh-seed retry usually recovers.
-    std::fprintf(stderr, "empty trace from %s; retrying with a fresh seed\n", cca_name.c_str());
-    env.seed += 1;
+  // A degenerate draw (e.g. every packet lost under an extreme loss rate)
+  // can produce an empty trace; fresh-seed retries usually recover. The
+  // simulator is instant, so the backoff stays nominal.
+  trace::Trace t;
+  util::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_s = 0.0;
+  policy.retryable = {util::StatusCode::kInvalidTrace};
+  util::Status st = util::Retry(policy).run([&] {
     t = net::run_connection(cca_name, env);
+    if (!t.samples.empty()) return util::Status::ok();
+    env.seed += 1;  // next attempt draws a different packet schedule
+    return util::Status(util::StatusCode::kInvalidTrace,
+                        "empty trace from " + cca_name);
+  });
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return util::exit_code(st.code());
   }
   std::printf("collected %zu ACK samples from %s under %s\n", t.samples.size(),
               cca_name.c_str(), env.label().c_str());

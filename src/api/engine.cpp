@@ -289,6 +289,10 @@ void Engine::driver_loop() {
     }
     job->state.store(JobState::kRunning, std::memory_order_release);
     run_job(*job);
+    // Terminal callback fires before the done latch / kDone store, so a
+    // waiter released by wait() can rely on its side effects (the serve
+    // layer's durable WAL record + result file) already being on disk.
+    if (job->spec.on_complete) job->spec.on_complete(job->result);
     {
       std::lock_guard lk(job->mu);
       job->done = true;

@@ -30,6 +30,8 @@
 
 namespace abg::api {
 
+struct JobResult;  // defined below; JobSpec::on_complete receives one
+
 struct JobSpec {
   // What to run. kPipeline is the full Figure-1 pipeline (classify unless a
   // DSL is forced, segment, refine); kMister880 is the HotNets'21 decision-
@@ -66,6 +68,13 @@ struct JobSpec {
   // Streamed per-iteration progress, forwarded into
   // SynthesisOptions::on_iteration; runs on the job's driver thread.
   std::function<void(const synth::IterationReport&)> on_iteration;
+
+  // Fired exactly once on the driver thread when the job reaches a terminal
+  // state, with the full JobResult — before the done latch releases waiters.
+  // The serve layer uses this to write the terminal WAL record + result file
+  // so a client polling GET /jobs/<id> never sees "done" before the result
+  // is durable (ISSUE 8). Keep it cheap-ish: it blocks this driver slot.
+  std::function<void(const JobResult&)> on_complete;
 
   // --- Builder surface. -----------------------------------------------------
   JobSpec& with_name(std::string n) {
@@ -119,6 +128,10 @@ struct JobSpec {
   }
   JobSpec& with_iteration_callback(std::function<void(const synth::IterationReport&)> cb) {
     on_iteration = std::move(cb);
+    return *this;
+  }
+  JobSpec& with_completion_callback(std::function<void(const JobResult&)> cb) {
+    on_complete = std::move(cb);
     return *this;
   }
   JobSpec& with_kind(Kind k) {

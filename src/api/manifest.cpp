@@ -223,6 +223,14 @@ util::Result<Manifest> parse_manifest(std::string_view json_text) {
   return parse_manifest_doc(*doc);
 }
 
+util::Result<JobSpec> parse_job_spec(std::string_view json_text) {
+  auto doc = util::parse_json(json_text);
+  if (!doc.ok()) return doc.status();
+  JobSpec spec;
+  if (auto st = parse_job(*doc, &spec); !st.is_ok()) return st;
+  return spec;
+}
+
 util::Result<Manifest> load_manifest(const std::string& path) {
   auto doc = util::load_json(path);
   if (!doc.ok()) return doc.status();

@@ -48,6 +48,12 @@ struct Manifest {
 // validation itself happens later at Engine::submit.
 util::Result<Manifest> parse_manifest(std::string_view json_text);
 
+// Parse one job-entry object (the element shape of the manifest's "jobs"
+// array) from JSON text. This is the body format of `POST /jobs` in the
+// serve daemon (ISSUE 8): the exact same keys and defaults as a manifest
+// entry, so a job moves between batch and service submission unchanged.
+util::Result<JobSpec> parse_job_spec(std::string_view json_text);
+
 // Load + parse a manifest file.
 util::Result<Manifest> load_manifest(const std::string& path);
 

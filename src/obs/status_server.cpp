@@ -6,10 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <map>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -25,6 +26,30 @@ struct Route {
   std::function<std::string()> body_fn;
 };
 
+struct RichRoute {
+  std::string method;
+  std::string prefix;
+  std::function<HttpResponse(const HttpRequest&)> handler;
+};
+
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Response";
+  }
+}
+
 void write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -34,74 +59,216 @@ void write_all(int fd, const std::string& data) {
   }
 }
 
-std::string make_response(int code, const char* reason, const std::string& content_type,
-                          const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
-  out += "Content-Type: " + content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+std::string render_response(const HttpResponse& r) {
+  std::string out =
+      "HTTP/1.1 " + std::to_string(r.code) + " " + reason_phrase(r.code) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  for (const auto& [name, value] : r.headers) out += name + ": " + value + "\r\n";
   out += "Connection: close\r\n\r\n";
-  out += body;
+  out += r.body;
   return out;
 }
 
-// Read until the end of the request headers (we ignore any body; these are
-// GETs). Bounded: 8 KiB or 2 s total from accept, whichever comes first. The
-// overall deadline matters because connections are served serially on one
-// thread: a client that trickles bytes must not hold up other pollers (or
-// stop()) for longer than the single 2 s budget.
-bool read_request_head(int fd, std::string& head) {
+// Read until `want` bytes are buffered past the current size, within the
+// per-phase deadline. Connections are served serially on one thread, so a
+// client that trickles bytes must not hold up other pollers (or stop()).
+bool read_until(int fd, std::string& buf, std::size_t cap,
+                const std::function<bool(const std::string&)>& done,
+                std::chrono::steady_clock::time_point deadline) {
   using clock = std::chrono::steady_clock;
-  const auto deadline = clock::now() + std::chrono::seconds(2);
-  char buf[1024];
-  while (head.size() < 8192) {
+  char tmp[2048];
+  while (!done(buf)) {
+    if (buf.size() >= cap) return false;
     const auto left =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - clock::now());
     if (left.count() <= 0) return false;
     pollfd p{fd, POLLIN, 0};
     const int pr = ::poll(&p, 1, static_cast<int>(left.count()));
     if (pr <= 0) return false;
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
     if (n <= 0) return false;
-    head.append(buf, static_cast<std::size_t>(n));
-    if (head.find("\r\n\r\n") != std::string::npos) return true;
+    buf.append(tmp, static_cast<std::size_t>(n));
   }
-  return false;
+  return true;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// Parse the header block (request line + headers) out of `head`, which ends
+// at the first \r\n\r\n. False on malformed requests.
+bool parse_head(const std::string& head, HttpRequest* req) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  req->path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const auto q = req->path.find('?'); q != std::string::npos) {
+    req->query = req->path.substr(q + 1);
+    req->path.resize(q);
+  }
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const std::size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos || end == pos) break;  // blank line = done
+    const std::string hline = head.substr(pos, end - pos);
+    const std::size_t colon = hline.find(':');
+    if (colon != std::string::npos) {
+      std::string value = hline.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      value = first == std::string::npos ? std::string() : value.substr(first);
+      req->headers[lower(hline.substr(0, colon))] = value;
+    }
+    pos = end + 2;
+  }
+  return true;
+}
+
+bool prefix_matches(const std::string& prefix, const std::string& path) {
+  if (path == prefix) return true;
+  return path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+         path[prefix.size()] == '/';
 }
 
 }  // namespace
+
+const std::string& HttpRequest::header(const std::string& lowercase_name) const {
+  static const std::string kEmpty;
+  const auto it = headers.find(lowercase_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+std::string HttpRequest::query_param(const std::string& key) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp) {
+      if (query.compare(pos, eq - pos, key) == 0) {
+        return query.substr(eq + 1, amp - eq - 1);
+      }
+    } else if (query.compare(pos, amp - pos, key) == 0) {
+      return std::string();  // bare flag, present but valueless
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
+HttpResponse HttpResponse::text(int code, std::string body) {
+  return HttpResponse{code, "text/plain", std::move(body), {}};
+}
+
+HttpResponse HttpResponse::json(int code, std::string body) {
+  return HttpResponse{code, "application/json", std::move(body), {}};
+}
 
 struct StatusServer::Impl {
   int listen_fd = -1;
   int wake_pipe[2] = {-1, -1};  // self-pipe: stop() writes, server thread polls
   std::thread thread;
-  std::map<std::string, Route> routes;
+  std::map<std::string, Route> routes;       // legacy GET exact-path providers
+  std::vector<RichRoute> rich_routes;        // method-aware prefix handlers
+  std::size_t max_body_bytes = 1 << 20;
+
+  HttpResponse dispatch(const HttpRequest& req) {
+    // Longest matching prefix among rich routes with this method wins; the
+    // legacy exact-path GET table participates with prefix length == path
+    // length, so it beats any shorter prefix route.
+    const RichRoute* best = nullptr;
+    std::set<std::string> allowed;  // methods the matched path supports
+    for (const auto& r : rich_routes) {
+      if (!prefix_matches(r.prefix, req.path)) continue;
+      allowed.insert(r.method);
+      if (r.method != req.method) continue;
+      if (best == nullptr || r.prefix.size() > best->prefix.size()) best = &r;
+    }
+    const auto legacy = routes.find(req.path);
+    if (legacy != routes.end()) allowed.insert("GET");
+    if (legacy != routes.end() && req.method == "GET" &&
+        (best == nullptr || best->prefix.size() < req.path.size())) {
+      return HttpResponse{200, legacy->second.content_type, legacy->second.body_fn(), {}};
+    }
+    if (best != nullptr) return best->handler(req);
+    if (!allowed.empty()) {
+      // Known path, unsupported method: 405 naming what would work (ISSUE 8
+      // hardening; a generic 404 here hides the route from the caller).
+      std::string allow;
+      for (const auto& m : allowed) allow += (allow.empty() ? "" : ", ") + m;
+      HttpResponse resp = HttpResponse::text(405, "method not allowed\n");
+      resp.headers.emplace_back("Allow", allow);
+      return resp;
+    }
+    return HttpResponse::text(404, "not found\n");
+  }
 
   void serve_connection(int fd) {
-    std::string head;
-    if (!read_request_head(fd, head)) {
+    using clock = std::chrono::steady_clock;
+    // Head: 8 KiB / 2 s budget from accept.
+    std::string buf;
+    const bool have_head = read_until(
+        fd, buf, 8192,
+        [](const std::string& b) { return b.find("\r\n\r\n") != std::string::npos; },
+        clock::now() + std::chrono::seconds(2));
+    if (!have_head) {
       ::close(fd);
       return;
     }
-    // Request line: METHOD SP PATH SP VERSION. Strip any query string.
-    const std::size_t sp1 = head.find(' ');
-    const std::size_t sp2 = sp1 == std::string::npos ? sp1 : head.find(' ', sp1 + 1);
-    if (sp2 == std::string::npos) {
+    const std::size_t head_end = buf.find("\r\n\r\n") + 4;
+    HttpRequest req;
+    if (!parse_head(buf.substr(0, head_end), &req)) {
       ::close(fd);
       return;
     }
-    const std::string method = head.substr(0, sp1);
-    std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (const auto q = path.find('?'); q != std::string::npos) path.resize(q);
 
-    std::string response;
-    if (method != "GET") {
-      response = make_response(405, "Method Not Allowed", "text/plain", "GET only\n");
-    } else if (const auto it = routes.find(path); it != routes.end()) {
-      response = make_response(200, "OK", it->second.content_type, it->second.body_fn());
+    HttpResponse resp;
+    bool parsed_body = true;
+    if (!req.header("transfer-encoding").empty()) {
+      resp = HttpResponse::text(501, "chunked bodies not supported\n");
+      parsed_body = false;
     } else {
-      response = make_response(404, "Not Found", "text/plain", "not found\n");
+      std::size_t content_length = 0;
+      const std::string& cl = req.header("content-length");
+      if (!cl.empty()) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          resp = HttpResponse::text(400, "bad Content-Length\n");
+          parsed_body = false;
+        } else {
+          content_length = static_cast<std::size_t>(v);
+        }
+      }
+      if (parsed_body && content_length > max_body_bytes) {
+        // Shed before reading: the declared body alone breaches the bound.
+        resp = HttpResponse::text(413, "request body too large\n");
+        parsed_body = false;
+      } else if (parsed_body) {
+        // Body: own 5 s budget; cap guards a client lying low with a small
+        // Content-Length then trickling more.
+        std::string body = buf.substr(head_end);
+        if (body.size() < content_length &&
+            !read_until(
+                fd, body, content_length,
+                [content_length](const std::string& b) { return b.size() >= content_length; },
+                clock::now() + std::chrono::seconds(5))) {
+          ::close(fd);
+          return;
+        }
+        body.resize(std::min(body.size(), content_length));
+        req.body = std::move(body);
+        resp = dispatch(req);
+      }
     }
-    write_all(fd, response);
+    write_all(fd, render_response(resp));
     ::close(fd);
   }
 
@@ -138,6 +305,12 @@ void StatusServer::handle(std::string path, std::string content_type,
   impl_->routes[std::move(path)] = Route{std::move(content_type), std::move(body_fn)};
 }
 
+void StatusServer::route(std::string method, std::string path_prefix,
+                         std::function<HttpResponse(const HttpRequest&)> handler) {
+  impl_->rich_routes.push_back(
+      RichRoute{std::move(method), std::move(path_prefix), std::move(handler)});
+}
+
 bool StatusServer::start(std::uint16_t port, std::string* err) {
   auto fail = [&](const std::string& what) {
     if (err != nullptr) *err = what + ": " + std::strerror(errno);
@@ -157,6 +330,7 @@ bool StatusServer::start(std::uint16_t port, std::string* err) {
     if (err != nullptr) *err = "already running";
     return false;
   }
+  impl_->max_body_bytes = max_body_bytes_;
 
   impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (impl_->listen_fd < 0) return fail("socket");

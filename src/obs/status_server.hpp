@@ -1,15 +1,25 @@
-// Dependency-free embedded HTTP status listener. Serves GET requests on
-// 127.0.0.1 from one background thread:
+// Dependency-free embedded HTTP listener. Serves requests on 127.0.0.1 from
+// one background thread:
 //
 //   /healthz   -> "ok"
 //   /metrics   -> Prometheus text exposition of the metrics registry
-//   <custom>   -> any provider registered with handle() (the CLI registers
-//                 /jobs with a JSON snapshot of Engine job states)
+//   <custom>   -> GET body providers registered with handle() (the CLI
+//                 registers /jobs with a JSON snapshot of Engine job states),
+//                 or full request handlers registered with route() — the
+//                 serve daemon mounts POST /jobs, GET/DELETE /jobs/<id>, and
+//                 GET /jobs/<id>/result this way (ISSUE 8).
 //
 // Providers must be lock-free with respect to the workload they observe —
 // the server thread calls them inline, so a provider that grabbed a hot
 // driver lock would let a polling client stall synthesis. The built-in
-// /metrics route reads relaxed-atomic snapshots only.
+// /metrics route reads relaxed-atomic snapshots only. route() handlers run
+// on the same thread; the serve layer keeps them to queue/WAL operations,
+// never synthesis work.
+//
+// Robustness contract (ISSUE 8): request bodies are bounded
+// (413 Payload Too Large past max_body_bytes), a method the matched path
+// does not support earns 405 with an Allow header listing the ones it does,
+// and unknown paths stay 404.
 //
 // This sits in obs (below util), so errors surface as bool + message rather
 // than util::Status.
@@ -17,9 +27,40 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace abg::obs {
+
+// One parsed request, as seen by route() handlers. Header names are
+// lowercased; the query string is kept raw (no '?').
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  // Case-already-folded lookup; empty string when absent.
+  const std::string& header(const std::string& lowercase_name) const;
+  // "a=1&b=two" -> value of `key`, "" when absent (no %-decoding; the serve
+  // API sticks to token-safe values).
+  std::string query_param(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+  // Extra headers (e.g. {"Retry-After", "2"}); Content-Type/Length and
+  // Connection are emitted by the server.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  static HttpResponse text(int code, std::string body);
+  static HttpResponse json(int code, std::string body);
+};
 
 class StatusServer {
  public:
@@ -29,10 +70,22 @@ class StatusServer {
   StatusServer(const StatusServer&) = delete;
   StatusServer& operator=(const StatusServer&) = delete;
 
-  // Register `body_fn` for an exact request path ("/jobs"). Must be called
-  // before start(). The function is invoked on the server thread per request.
+  // Register `body_fn` for GET requests on an exact path ("/jobs"). Must be
+  // called before start(). Invoked on the server thread per request.
   void handle(std::string path, std::string content_type,
               std::function<std::string()> body_fn);
+
+  // Register a full request handler for `method` on `path_prefix`: matches
+  // the prefix exactly and any subpath below it ("/jobs" serves both /jobs
+  // and /jobs/j-3/result; the handler reads the rest of the path from
+  // HttpRequest::path). The longest matching prefix wins. Must be called
+  // before start().
+  void route(std::string method, std::string path_prefix,
+             std::function<HttpResponse(const HttpRequest&)> handler);
+
+  // Request-body bound; requests declaring (or trickling) more earn 413.
+  void set_max_body_bytes(std::size_t n) { max_body_bytes_ = n; }
+  std::size_t max_body_bytes() const { return max_body_bytes_; }
 
   // Bind 127.0.0.1:port (port 0 picks an ephemeral port, see port()) and
   // start serving. False on failure with a human-readable reason in *err.
@@ -51,6 +104,7 @@ class StatusServer {
   Impl* impl_;       // pimpl keeps <sys/socket.h> out of the header
   bool running_ = false;
   std::uint16_t port_ = 0;
+  std::size_t max_body_bytes_ = 1 << 20;  // 1 MiB
 };
 
 }  // namespace abg::obs

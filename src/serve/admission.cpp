@@ -1,0 +1,74 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/registry.hpp"
+
+namespace abg::serve {
+
+namespace {
+
+AdmissionController::ClockFn steady_clock_fn() {
+  const auto start = std::chrono::steady_clock::now();
+  return [start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions opts)
+    : AdmissionController(std::move(opts), steady_clock_fn()) {}
+
+AdmissionController::AdmissionController(AdmissionOptions opts, ClockFn clock)
+    : opts_(std::move(opts)), clock_(std::move(clock)) {}
+
+void AdmissionController::refill(Bucket* b, double now_s) const {
+  const double dt = std::max(now_s - b->updated_s, 0.0);
+  b->tokens = std::min(b->tokens + dt * opts_.rate_per_s, opts_.burst);
+  b->updated_s = now_s;
+}
+
+AdmissionDecision AdmissionController::admit(const std::string& client_id) {
+  static auto& c_admitted = obs::counter("serve.admitted");
+  static auto& c_throttled = obs::counter("serve.throttled");
+  std::lock_guard lk(mu_);
+  const double now = clock_();
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= opts_.max_clients) {
+      // Evict the longest-idle bucket; after enough idle time it is full
+      // anyway, so forgetting it does not grant anyone extra budget.
+      auto oldest = buckets_.begin();
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        if (b->second.updated_s < oldest->second.updated_s) oldest = b;
+      }
+      buckets_.erase(oldest);
+    }
+    Bucket fresh;
+    fresh.tokens = opts_.burst;
+    fresh.updated_s = now;
+    it = buckets_.emplace(client_id, fresh).first;
+  }
+  Bucket& b = it->second;
+  refill(&b, now);
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    c_admitted.add();
+    return AdmissionDecision{true, 0.0};
+  }
+  c_throttled.add();
+  const double deficit = 1.0 - b.tokens;
+  const double wait = opts_.rate_per_s > 0 ? deficit / opts_.rate_per_s : 3600.0;
+  return AdmissionDecision{false, wait};
+}
+
+std::size_t AdmissionController::tracked_clients() const {
+  std::lock_guard lk(mu_);
+  return buckets_.size();
+}
+
+}  // namespace abg::serve

@@ -1,0 +1,59 @@
+// Per-client token-bucket admission control for POST /jobs (ISSUE 8).
+// Clients identify themselves with the X-Abg-Client header (absent = the
+// shared "anonymous" bucket); each client's bucket refills at rate_per_s up
+// to burst tokens, and a submission spends one token. A dry bucket earns
+// 429 + Retry-After rounded up to when the next token lands.
+//
+// The clock is injectable seconds-since-start, so the unit tests drive the
+// refill schedule deterministically. State is bounded: at most max_clients
+// buckets are tracked, evicting the one that has been idle longest (a full
+// bucket carries no memory worth keeping).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace abg::serve {
+
+struct AdmissionOptions {
+  double rate_per_s = 2.0;       // sustained submissions per second per client
+  double burst = 8.0;            // bucket capacity
+  std::size_t max_clients = 1024;
+};
+
+struct AdmissionDecision {
+  bool admitted = true;
+  double retry_after_s = 0.0;  // meaningful when !admitted
+};
+
+class AdmissionController {
+ public:
+  using ClockFn = std::function<double()>;  // monotonic seconds
+
+  explicit AdmissionController(AdmissionOptions opts);
+  AdmissionController(AdmissionOptions opts, ClockFn clock);
+
+  // Try to spend one token from `client_id`'s bucket. Thread-safe.
+  AdmissionDecision admit(const std::string& client_id);
+
+  const AdmissionOptions& options() const { return opts_; }
+  std::size_t tracked_clients() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double updated_s = 0.0;  // clock time of the last refill
+  };
+
+  void refill(Bucket* b, double now_s) const;
+
+  AdmissionOptions opts_;
+  ClockFn clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace abg::serve

@@ -1,0 +1,61 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace abg::serve {
+
+bool PendingQueue::try_push(std::string job_id) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(job_id));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void PendingQueue::push_recovered(std::string job_id) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return;
+    items_.push_back(std::move(job_id));
+  }
+  cv_.notify_one();
+}
+
+std::optional<std::string> PendingQueue::pop_wait() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  std::string id = std::move(items_.front());
+  items_.pop_front();
+  return id;
+}
+
+bool PendingQueue::remove(const std::string& job_id) {
+  std::lock_guard lk(mu_);
+  const auto it = std::find(items_.begin(), items_.end(), job_id);
+  if (it == items_.end()) return false;
+  items_.erase(it);
+  return true;
+}
+
+void PendingQueue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t PendingQueue::size() const {
+  std::lock_guard lk(mu_);
+  return items_.size();
+}
+
+std::deque<std::string> PendingQueue::snapshot() const {
+  std::lock_guard lk(mu_);
+  return items_;
+}
+
+}  // namespace abg::serve

@@ -1,0 +1,60 @@
+// Bounded FIFO of pending job ids between the HTTP thread (producer) and
+// the service dispatcher (consumer). The bound is the service's queue-depth
+// admission limit: when try_push fails, the HTTP layer sheds the request
+// with 503 + Retry-After instead of buffering without limit (ISSUE 8).
+//
+// Only ids travel through here — the durable truth about each job lives in
+// the JobStore; losing this process loses nothing but the in-memory order,
+// which recovery rebuilds from the WAL.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace abg::serve {
+
+class PendingQueue {
+ public:
+  explicit PendingQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  PendingQueue(const PendingQueue&) = delete;
+  PendingQueue& operator=(const PendingQueue&) = delete;
+
+  // False when the queue is full or closed — the caller sheds.
+  bool try_push(std::string job_id);
+
+  // Capacity-exempt push for restart recovery: jobs being requeued were
+  // already admitted in a previous life, so the depth bound (which protects
+  // against *new* arrivals) does not apply to them.
+  void push_recovered(std::string job_id);
+
+  // Block until an id is available or the queue is closed; nullopt means
+  // closed-and-drained (the dispatcher exits).
+  std::optional<std::string> pop_wait();
+
+  // Remove a queued id (cancellation before dispatch). False when absent.
+  bool remove(const std::string& job_id);
+
+  // Wake the consumer and refuse further pushes. Ids still queued stay
+  // poppable (drain decides whether to pop or suspend them).
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  // Snapshot of queued ids, FIFO order (drain walks this to suspend them).
+  std::deque<std::string> snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> items_;
+  bool closed_ = false;
+};
+
+}  // namespace abg::serve

@@ -1,0 +1,175 @@
+#include "serve/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/registry.hpp"
+#include "util/durable_io.hpp"
+#include "util/fault_injection.hpp"
+#include "util/log.hpp"
+
+namespace abg::serve {
+
+namespace {
+
+util::Status io_error(const std::string& what) {
+  return util::Status(util::StatusCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+std::string format_record(const std::string& payload) {
+  char cs[17];
+  std::snprintf(cs, sizeof cs, "%016llx",
+                static_cast<unsigned long long>(wal_checksum(payload)));
+  return std::string(cs) + " " + payload + "\n";
+}
+
+// Parse one "<checksum> <payload>" line (newline already stripped). False on
+// any malformation — the caller treats that as the start of the invalid tail.
+bool parse_record(std::string_view line, std::string* payload) {
+  if (line.size() < 18 || line[16] != ' ') return false;
+  std::uint64_t want = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = line[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    want = (want << 4) | static_cast<std::uint64_t>(digit);
+  }
+  const std::string_view body = line.substr(17);
+  if (wal_checksum(body) != want) return false;
+  payload->assign(body);
+  return true;
+}
+
+// Shared scan: fills *records with every valid record and returns the byte
+// length of the valid prefix.
+std::size_t scan(const std::string& content, std::vector<std::string>* records) {
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn final record: no newline
+    std::string payload;
+    if (!parse_record(std::string_view(content).substr(pos, nl - pos), &payload)) break;
+    records->push_back(std::move(payload));
+    pos = nl + 1;
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::uint64_t wal_checksum(std::string_view payload) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (const char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+Wal::~Wal() { close(); }
+
+util::Status Wal::open(const std::string& path, std::vector<std::string>* records) {
+  close();
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      content = ss.str();
+    }
+  }
+  records->clear();
+  const std::size_t valid = scan(content, records);
+  if (valid < content.size()) {
+    static auto& c_torn = obs::counter("serve.wal_torn_tail");
+    c_torn.add();
+    ABG_WARN("wal %s: dropping %zu-byte torn tail after %zu valid records",
+             path.c_str(), content.size() - valid, records->size());
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return io_error("open wal " + path);
+  if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+    const auto st = io_error("truncate wal " + path);
+    close();
+    return st;
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    const auto st = io_error("seek wal " + path);
+    close();
+    return st;
+  }
+  path_ = path;
+  // Make the (possibly just-created, possibly just-truncated) log durable
+  // before acknowledging recovery.
+  if (valid < content.size() || content.empty()) {
+    if (auto st = sync(); !st.is_ok()) return st;
+  }
+  return util::Status::ok();
+}
+
+util::Status Wal::append(const std::string& payload, bool durable) {
+  if (fd_ < 0) return util::Status(util::StatusCode::kIoError, "wal not open");
+  if (payload.find('\n') != std::string::npos) {
+    return util::Status(util::StatusCode::kInvalidArgument,
+                        "wal payload must be single-line");
+  }
+  if (util::fault::io_fail("serve.wal_append")) {
+    return util::Status(util::StatusCode::kIoError,
+                        "injected I/O fault appending to " + path_);
+  }
+  static auto& c_appends = obs::counter("serve.wal_appends");
+  const std::string rec = format_record(payload);
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ssize_t n = ::write(fd_, rec.data() + off, rec.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("append to wal " + path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  c_appends.add();
+  if (durable && ::fsync(fd_) != 0) return io_error("fsync wal " + path_);
+  return util::Status::ok();
+}
+
+util::Status Wal::sync() {
+  if (fd_ < 0) return util::Status::ok();
+  if (::fsync(fd_) != 0) return io_error("fsync wal " + path_);
+  return util::Status::ok();
+}
+
+void Wal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+util::Result<std::vector<std::string>> Wal::replay_file(const std::string& path,
+                                                        std::size_t* torn_tail_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status(util::StatusCode::kIoError, "cannot open wal " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  std::vector<std::string> records;
+  const std::size_t valid = scan(content, &records);
+  if (torn_tail_bytes != nullptr) *torn_tail_bytes = content.size() - valid;
+  return records;
+}
+
+}  // namespace abg::serve

@@ -1,0 +1,69 @@
+// Crash-durable append-only write-ahead log for the synthesis service
+// (ISSUE 8). One record per line:
+//
+//   <fnv64-hex> <payload>\n
+//
+// where the checksum covers the payload bytes. Appends are fsync'd by
+// default, so an acknowledged record survives power loss; recovery replays
+// records in order and stops at the first line that is truncated (no
+// trailing newline — a torn write) or whose checksum does not match the
+// payload (a partially-overwritten sector). The invalid tail is truncated on
+// open, so the next append never interleaves with garbage.
+//
+// Payloads are single-line, tab-separated state transitions; anything bulky
+// (job specs, results) lives in its own durably-written file that the WAL
+// record merely names. That keeps every append one small write + one fsync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/result.hpp"
+
+namespace abg::serve {
+
+// Checksum used for WAL records (FNV-1a 64-bit; both ends are this process,
+// so collision resistance matters less than zero dependencies).
+std::uint64_t wal_checksum(std::string_view payload);
+
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Open `path` (creating it if absent), replay every valid record into
+  // *records, truncate any torn/corrupt tail, and leave the log positioned
+  // for append. kIoError on filesystem trouble.
+  util::Status open(const std::string& path, std::vector<std::string>* records);
+
+  // Append one record. `payload` must not contain '\n' (kInvalidArgument).
+  // With durable=true (the default and what every state transition uses) the
+  // record is fsync'd before returning; durable=false is for advisory
+  // records (per-iteration progress) where losing the last few is harmless
+  // because recovery never trusts them anyway.
+  util::Status append(const std::string& payload, bool durable = true);
+
+  // Flush+fsync anything buffered. Safe to call when closed.
+  util::Status sync();
+
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Parse-only replay (forensics/tests): valid records in order, ignoring a
+  // torn tail. *torn_tail_bytes (optional) reports how many trailing bytes
+  // were unparseable.
+  static util::Result<std::vector<std::string>> replay_file(
+      const std::string& path, std::size_t* torn_tail_bytes = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace abg::serve

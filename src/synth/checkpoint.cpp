@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/csv.hpp"
+#include "util/durable_io.hpp"
 #include "util/fault_injection.hpp"
 
 namespace abg::synth {
@@ -167,20 +168,10 @@ util::Status save_checkpoint(const Checkpoint& ck, const std::string& path) {
     }
   }
 
-  const std::string tmp = path + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status(StatusCode::kIoError, "cannot open " + tmp + " for writing");
-  const bool wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) {
-    std::remove(tmp.c_str());
-    return Status(StatusCode::kIoError, "short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status(StatusCode::kIoError, "cannot rename " + tmp + " over " + path);
-  }
-  return Status::ok();
+  // Durable, not just atomic: the file is fsync'd before the rename and the
+  // parent directory after it, so a checkpoint the serve WAL points at can
+  // never be a torn or absent file after power loss (ISSUE 8).
+  return util::atomic_write_file(path, out, /*durable=*/true);
 }
 
 util::Result<Checkpoint> load_checkpoint(const std::string& path) {

@@ -60,8 +60,10 @@ struct Checkpoint {
   std::vector<IterationReport> iterations;
 };
 
-// Atomic write: serialize to `path + ".tmp"`, fsync-free rename over `path`.
-// A crash mid-save leaves the previous checkpoint intact.
+// Durable atomic write: serialize to `path + ".tmp"`, fsync, rename over
+// `path`, fsync the parent directory (util::atomic_write_file). A crash
+// mid-save leaves the previous checkpoint intact; after power loss the file
+// is either the old checkpoint or the complete new one, never torn.
 util::Status save_checkpoint(const Checkpoint& ck, const std::string& path);
 
 // kIoError if the file cannot be read (callers treat a missing file as

@@ -1,0 +1,76 @@
+#include "util/durable_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fault_injection.hpp"
+
+namespace abg::util {
+
+namespace {
+
+Status io_error(const std::string& what) {
+  return Status(StatusCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+Status fsync_fd(int fd, const std::string& label) {
+  if (::fsync(fd) != 0) return io_error("fsync " + label);
+  return Status::ok();
+}
+
+}  // namespace
+
+Status fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_error("open " + path);
+  const Status st = fsync_fd(fd, path);
+  ::close(fd);
+  return st;
+}
+
+Status fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return io_error("open dir " + dir);
+  const Status st = fsync_fd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+Status atomic_write_file(const std::string& path, const std::string& content,
+                         bool durable) {
+  if (fault::io_fail("durable_io.write")) {
+    return Status(StatusCode::kIoError, "injected I/O fault writing " + path);
+  }
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return io_error("cannot open " + tmp + " for writing");
+  const bool wrote = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  bool synced = true;
+  if (wrote && durable) {
+    // Flush stdio buffers first so fsync sees every byte.
+    synced = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  }
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = io_error("cannot rename " + tmp + " over " + path);
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (durable) {
+    if (auto st = fsync_parent_dir(path); !st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+}  // namespace abg::util

@@ -1,0 +1,34 @@
+// Crash-durable file primitives for the serve/checkpoint layers. tmp+rename
+// alone is *atomic* (a reader never sees a half-written file) but not
+// *durable*: after a power loss the rename can survive while the data blocks
+// do not, leaving a named-but-torn file. The durable recipe is
+//
+//   write tmp -> fsync(tmp) -> rename(tmp, path) -> fsync(parent dir)
+//
+// which these helpers implement once so every durable writer (synthesis
+// checkpoints, the serve WAL and its snapshots, persisted job specs/results)
+// agrees on the ordering.
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace abg::util {
+
+// fsync a file by path. kIoError if it cannot be opened or synced.
+Status fsync_path(const std::string& path);
+
+// fsync the directory containing `path`, making a rename/create of `path`
+// itself durable. "x.txt" with no slash syncs ".".
+Status fsync_parent_dir(const std::string& path);
+
+// The full durable recipe: write `content` to `path + ".tmp"`, fsync it,
+// rename over `path`, fsync the parent directory. On any failure the tmp
+// file is removed and the previous `path` content is intact.
+// With durable=false the two fsyncs are skipped (atomic-only, for callers
+// on a fast path that explicitly accept losing the tail on power loss).
+Status atomic_write_file(const std::string& path, const std::string& content,
+                         bool durable = true);
+
+}  // namespace abg::util

@@ -1,0 +1,55 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/registry.hpp"
+#include "util/log.hpp"
+
+namespace abg::util {
+
+Retry::Retry(RetryPolicy policy)
+    : Retry(std::move(policy), [](double seconds) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      }) {}
+
+Retry::Retry(RetryPolicy policy, SleepFn sleep)
+    : policy_(std::move(policy)), sleep_(std::move(sleep)), rng_(policy_.seed) {}
+
+bool Retry::retryable(StatusCode code) const {
+  return std::find(policy_.retryable.begin(), policy_.retryable.end(), code) !=
+         policy_.retryable.end();
+}
+
+double Retry::backoff_s(int attempt) {
+  double delay = policy_.initial_backoff_s;
+  for (int i = 1; i < attempt; ++i) delay *= policy_.multiplier;
+  delay = std::min(delay, policy_.max_backoff_s);
+  if (policy_.jitter_frac > 0.0) {
+    delay *= rng_.uniform(1.0 - policy_.jitter_frac, 1.0 + policy_.jitter_frac);
+  }
+  return std::max(delay, 0.0);
+}
+
+Status Retry::run(const std::function<Status()>& op) {
+  static auto& c_retries = obs::counter("util.retry_attempts");
+  static auto& c_gave_up = obs::counter("util.retry_exhausted");
+  Status last = Status(StatusCode::kUnknown, "retry ran zero attempts");
+  const int attempts = std::max(policy_.max_attempts, 1);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    if (last.is_ok()) return last;
+    if (!retryable(last.code())) return last;
+    if (attempt == attempts) break;
+    const double delay = backoff_s(attempt);
+    ABG_WARN("attempt %d/%d failed (%s); retrying in %.0f ms", attempt, attempts,
+             last.to_string().c_str(), delay * 1e3);
+    c_retries.add();
+    sleep_(delay);
+  }
+  c_gave_up.add();
+  return last.with_context("after " + std::to_string(attempts) + " attempts");
+}
+
+}  // namespace abg::util

@@ -1,0 +1,65 @@
+// Generic retry with jittered exponential backoff, for transient-failure
+// boundaries (state-dir I/O in the serve layer, empty-draw trace collection
+// in the examples). The operation reports success/failure as util::Status;
+// retryable codes default to kIoError and kUnknown, the transient classes.
+//
+//   util::Retry retry({.max_attempts = 4, .initial_backoff_s = 0.05});
+//   util::Status st = retry.run([&] { return write_thing(path); });
+//
+// The backoff schedule is initial * multiplier^attempt, capped at
+// max_backoff_s, each delay scaled by a uniform jitter draw in
+// [1 - jitter_frac, 1 + jitter_frac] so a thundering herd of retriers
+// decorrelates. The sleep function is injectable, which is how the unit
+// tests pin the whole schedule under a deterministic clock.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace abg::util {
+
+struct RetryPolicy {
+  int max_attempts = 3;            // total tries, including the first
+  double initial_backoff_s = 0.05; // delay before attempt 2
+  double multiplier = 2.0;         // exponential growth per attempt
+  double max_backoff_s = 2.0;      // cap on any single delay
+  double jitter_frac = 0.5;        // uniform in [1-j, 1+j]; 0 = deterministic
+  std::uint64_t seed = 11;         // jitter RNG seed
+  // Status codes worth retrying; anything else fails immediately.
+  std::vector<StatusCode> retryable = {StatusCode::kIoError, StatusCode::kUnknown};
+};
+
+class Retry {
+ public:
+  using SleepFn = std::function<void(double seconds)>;
+
+  explicit Retry(RetryPolicy policy = {});
+  // Injectable sleep (tests pass a recorder; default really sleeps).
+  Retry(RetryPolicy policy, SleepFn sleep);
+
+  // Run `op` up to max_attempts times, sleeping the backoff schedule between
+  // attempts. Returns the first ok() Status, or the last failure once the
+  // attempt budget is exhausted (with the attempt count in the message) or a
+  // non-retryable code appears.
+  Status run(const std::function<Status()>& op);
+
+  // The delay that precedes attempt `attempt` (attempt 1 = first retry),
+  // jitter included — exposed so tests can assert the schedule and callers
+  // can surface "retrying in N ms" messages.
+  double backoff_s(int attempt);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  bool retryable(StatusCode code) const;
+
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  Rng rng_;
+};
+
+}  // namespace abg::util

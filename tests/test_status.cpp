@@ -484,6 +484,101 @@ TEST(StatusServerTest, ServesConcurrentPollers) {
 }
 
 // ---------------------------------------------------------------------------
+// Rich routes + request hardening (ISSUE 8): method dispatch with bodies,
+// 405 + Allow on known paths, 413 on oversized bodies.
+// ---------------------------------------------------------------------------
+
+TEST(StatusServerTest, RichRoutesDispatchByMethodAndPrefix) {
+  obs::StatusServer server;
+  server.route("POST", "/jobs", [](const obs::HttpRequest& req) {
+    obs::HttpResponse r = obs::HttpResponse::json(
+        202, "{\"echo\":\"" + req.body + "\",\"client\":\"" +
+                 req.header("x-abg-client") + "\"}");
+    return r;
+  });
+  server.route("GET", "/jobs", [](const obs::HttpRequest& req) {
+    return obs::HttpResponse::text(200, "path=" + req.path +
+                                            " q=" + req.query_param("verbose"));
+  });
+  std::string err;
+  ASSERT_TRUE(server.start(0, &err)) << err;
+
+  // POST with a body and a client header reaches the handler intact.
+  const std::string post = http_request(
+      server.port(),
+      "POST /jobs HTTP/1.1\r\nHost: x\r\nX-Abg-Client: tester\r\n"
+      "Content-Length: 5\r\n\r\nhello");
+  EXPECT_NE(post.find("HTTP/1.1 202 Accepted"), std::string::npos) << post;
+  EXPECT_EQ(body_of(post), "{\"echo\":\"hello\",\"client\":\"tester\"}");
+
+  // Prefix matching covers subpaths; query params parse.
+  const std::string sub = http_get(server.port(), "/jobs/j-3/result?verbose=1");
+  EXPECT_EQ(body_of(sub), "path=/jobs/j-3/result q=1");
+
+  // A known path with an unsupported method earns 405 naming the supported
+  // ones, not a 404.
+  const std::string put =
+      http_request(server.port(), "PUT /jobs HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(put.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos) << put;
+  EXPECT_NE(put.find("Allow: GET, POST"), std::string::npos) << put;
+
+  server.stop();
+}
+
+TEST(StatusServerTest, LegacyRoutesAdvertiseGetInAllowHeader) {
+  obs::StatusServer server;
+  std::string err;
+  ASSERT_TRUE(server.start(0, &err)) << err;
+  const std::string del =
+      http_request(server.port(), "DELETE /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(del.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos) << del;
+  EXPECT_NE(del.find("Allow: GET"), std::string::npos) << del;
+  server.stop();
+}
+
+TEST(StatusServerTest, OversizedBodiesEarn413BeforeBeingRead) {
+  obs::StatusServer server;
+  server.set_max_body_bytes(64);
+  bool handler_ran = false;
+  server.route("POST", "/jobs", [&handler_ran](const obs::HttpRequest&) {
+    handler_ran = true;
+    return obs::HttpResponse::text(200, "ok");
+  });
+  std::string err;
+  ASSERT_TRUE(server.start(0, &err)) << err;
+
+  // Declared oversized: shed on the Content-Length header alone. The body is
+  // deliberately NOT sent — a correct server answers without waiting for it.
+  const std::string big = http_request(
+      server.port(),
+      "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 100000\r\n\r\n");
+  EXPECT_NE(big.find("HTTP/1.1 413 Payload Too Large"), std::string::npos) << big;
+  EXPECT_FALSE(handler_ran);
+
+  // At the bound is fine.
+  const std::string body(64, 'x');
+  const std::string fits = http_request(
+      server.port(), "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n" + body);
+  EXPECT_NE(fits.find("HTTP/1.1 200 OK"), std::string::npos) << fits;
+  EXPECT_TRUE(handler_ran);
+  server.stop();
+}
+
+TEST(StatusServerTest, ChunkedTransferEncodingIsRejectedNotMisparsed) {
+  obs::StatusServer server;
+  server.route("POST", "/jobs",
+               [](const obs::HttpRequest&) { return obs::HttpResponse::text(200, "ok"); });
+  std::string err;
+  ASSERT_TRUE(server.start(0, &err)) << err;
+  const std::string resp = http_request(
+      server.port(),
+      "POST /jobs HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 501"), std::string::npos) << resp;
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
 // Rate-limited logging predicates (ABG_WARN_EVERY_N / ABG_WARN_ONCE).
 // ---------------------------------------------------------------------------
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/csv.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -187,6 +188,98 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   EXPECT_GE(sw.elapsed_seconds(), 0.0);
   sw.reset();
   EXPECT_LT(sw.elapsed_seconds(), 1.0);
+}
+
+// --- util::Retry under a deterministic clock (ISSUE 8 satellite) ------------
+
+TEST(Retry, SucceedsWithoutSleepingWhenFirstAttemptPasses) {
+  std::vector<double> sleeps;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Retry retry(policy, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  const Status st = retry.run([&] {
+    ++calls;
+    return Status::ok();
+  });
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(Retry, BackoffScheduleIsExponentialCappedAndDeterministic) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_s = 0.1;
+  policy.multiplier = 2.0;
+  policy.max_backoff_s = 0.5;
+  policy.jitter_frac = 0.0;  // exact schedule
+  std::vector<double> sleeps;
+  Retry retry(policy, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  const Status st = retry.run([&] {
+    ++calls;
+    return Status(StatusCode::kIoError, "transient");
+  });
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 6);
+  // 0.1, 0.2, 0.4, then capped at 0.5 — one delay per retry (5 of them).
+  ASSERT_EQ(sleeps.size(), 5u);
+  EXPECT_DOUBLE_EQ(sleeps[0], 0.1);
+  EXPECT_DOUBLE_EQ(sleeps[1], 0.2);
+  EXPECT_DOUBLE_EQ(sleeps[2], 0.4);
+  EXPECT_DOUBLE_EQ(sleeps[3], 0.5);
+  EXPECT_DOUBLE_EQ(sleeps[4], 0.5);
+  // Exhaustion is reported in the message so operators see the budget.
+  EXPECT_NE(st.message().find("after 6 attempts"), std::string::npos);
+}
+
+TEST(Retry, JitterStaysWithinConfiguredBandAndIsSeeded) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 1.0;
+  policy.multiplier = 1.0;
+  policy.max_backoff_s = 10.0;
+  policy.jitter_frac = 0.25;
+  policy.seed = 99;
+  Retry a(policy), b(policy);
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    const double da = a.backoff_s(attempt);
+    EXPECT_GE(da, 0.75);
+    EXPECT_LE(da, 1.25);
+    // Same seed => same jitter stream (deterministic schedules in tests).
+    EXPECT_DOUBLE_EQ(da, b.backoff_s(attempt));
+  }
+}
+
+TEST(Retry, NonRetryableCodeFailsImmediately) {
+  std::vector<double> sleeps;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Retry retry(policy, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  const Status st = retry.run([&] {
+    ++calls;
+    return Status(StatusCode::kInvalidArgument, "permanent");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+  // No "after N attempts" context: the retry loop never engaged.
+  EXPECT_EQ(st.message(), "permanent");
+}
+
+TEST(Retry, RecoversWhenALaterAttemptSucceeds) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter_frac = 0.0;
+  Retry retry(policy, [](double) {});
+  int calls = 0;
+  const Status st = retry.run([&] {
+    return ++calls < 3 ? Status(StatusCode::kIoError, "flaky") : Status::ok();
+  });
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(calls, 3);
 }
 
 }  // namespace
