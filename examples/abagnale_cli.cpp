@@ -204,14 +204,15 @@ int cmd_classify(int argc, char** argv) {
 }
 
 int cmd_synthesize(int argc, char** argv) {
-  core::PipelineOptions opts;
-  opts.synth.initial_samples = 8;
-  opts.synth.concretize_budget = 24;
-  opts.synth.max_depth = 4;
-  opts.synth.max_nodes = 9;
-  opts.synth.max_holes = 3;
-  opts.synth.dopts.max_points = 128;
-  opts.synth.timeout_s = 120.0;
+  // Flags become a JSON job object parsed by the one canonical codec
+  // (api::spec_from_json) and run through api::Engine — the same dialect and
+  // defaults as a --batch manifest entry, a POST /v1/jobs body, and the
+  // distributed worker protocol, so a CLI flag and a manifest key can never
+  // drift apart.
+  obs::JsonWriter w;
+  w.begin_object();
+  bool resume = false;
+  bool has_checkpoint = false;
   int first = 2;
   while (first < argc && argv[first][0] == '-') {
     if (std::strcmp(argv[first], "--no-fast-path") == 0) {
@@ -219,62 +220,91 @@ int cmd_synthesize(int argc, char** argv) {
       // cache, no early abandoning, no batched bytecode replay). Results are
       // identical either way — this exists to measure the fast path, not to
       // change behavior.
-      opts.synth.use_eval_cache = false;
-      opts.synth.early_abandon = false;
-      opts.synth.batch_replay = false;
+      w.key("fast_path");
+      w.value(false);
       first += 1;
       continue;
     }
     if (std::strcmp(argv[first], "--resume") == 0) {
-      opts.synth.resume = true;
+      w.key("resume");
+      w.value(true);
+      resume = true;
       first += 1;
       continue;
     }
     if (first + 1 >= argc) return usage();
     if (std::strcmp(argv[first], "--dsl") == 0) {
-      opts.dsl_override = argv[first + 1];
+      w.key("dsl");
+      w.value(std::string_view(argv[first + 1]));
     } else if (std::strcmp(argv[first], "--timeout") == 0) {
-      if (!parse_double_arg("--timeout", argv[first + 1], &opts.synth.timeout_s)) return usage();
+      double timeout_s = 0.0;
+      if (!parse_double_arg("--timeout", argv[first + 1], &timeout_s)) return usage();
+      w.key("timeout_s");
+      w.value(timeout_s);
     } else if (std::strcmp(argv[first], "--checkpoint") == 0) {
-      opts.synth.checkpoint_path = argv[first + 1];
+      w.key("checkpoint");
+      w.value(std::string_view(argv[first + 1]));
+      has_checkpoint = true;
     } else if (std::strcmp(argv[first], "--simd") == 0) {
       // Pin the DTW kernel tier for this run; wins over ABG_SIMD. The
-      // default (auto) picks the best tier the CPU supports.
-      const auto parsed = distance::parse_simd(argv[first + 1]);
-      if (!parsed) {
+      // default (auto) picks the best tier the CPU supports. Validated here
+      // so a typo reports the flag, not a JSON key.
+      if (!distance::parse_simd(argv[first + 1])) {
         std::fprintf(stderr, "--simd must be scalar/sse2/avx2/auto, got '%s'\n",
                      argv[first + 1]);
         return usage();
       }
-      opts.synth.simd = *parsed;
+      w.key("simd");
+      w.value(std::string_view(argv[first + 1]));
     } else {
       return usage();
     }
     first += 2;
   }
-  if (opts.synth.resume && opts.synth.checkpoint_path.empty()) {
+  if (resume && !has_checkpoint) {
     std::fprintf(stderr, "--resume needs --checkpoint <state>\n");
     return usage();
   }
-  auto traces = load_all(argc, argv, first);
-  if (traces.empty()) return no_traces_rc();
+  if (first >= argc) return usage();
+  if (g_load_opts.repair) {
+    w.key("repair_traces");
+    w.value(true);
+  }
+  w.key("traces");
+  w.begin_array();
+  for (int i = first; i < argc; ++i) w.value(std::string_view(argv[i]));
+  w.end_array();
+  w.end_object();
+
+  auto spec = api::spec_from_json(w.take());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "bad job spec: %s\n", spec.status().to_string().c_str());
+    return util::exit_code(spec.status().code());
+  }
   if (!util::log_level_from_env()) util::set_log_level(util::LogLevel::kInfo);
-  core::Abagnale pipeline(opts);
-  auto result = pipeline.run(traces);
-  const util::Status& st = result.synthesis.status;
-  if (!st.is_ok() && !result.synthesis.partial) {
-    // Hard failure (e.g. a corrupted checkpoint), not an interrupted search.
+  api::Engine engine({.max_concurrent_jobs = 1});
+  auto handle = engine.submit(std::move(*spec));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n", handle.status().to_string().c_str());
+    return util::exit_code(handle.status().code());
+  }
+  const api::JobResult& result = handle->wait();
+  const util::Status& st = result.status;
+  const bool partial = result.pipeline.synthesis.partial;
+  if (!st.is_ok() && !partial) {
+    // Hard failure (e.g. a corrupted checkpoint or unloadable trace), not an
+    // interrupted search.
     std::fprintf(stderr, "synthesis failed: %s\n", st.to_string().c_str());
     return util::exit_code(st.code());
   }
   if (!result.found()) {
     std::printf("no handler found\n");
-    return result.synthesis.partial ? util::exit_code(st.code()) : 1;
+    return partial ? util::exit_code(st.code()) : 1;
   }
   std::printf("\nDSL: %s\nhandler: %s\ndistance: %.3f over %zu segments\n",
-              result.dsl_name.c_str(), result.handler_string().c_str(), result.distance(),
-              result.segments_total);
-  if (result.synthesis.partial) {
+              result.pipeline.dsl_name.c_str(), result.pipeline.handler_string().c_str(),
+              result.pipeline.distance(), result.segments_total);
+  if (partial) {
     // Best-so-far from a preempted run: report it, but exit with the
     // interrupt class so batch drivers can tell it from a completed search.
     std::printf("partial result: %s\n", st.to_string().c_str());

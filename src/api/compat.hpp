@@ -1,8 +1,10 @@
 // Compatibility wrappers: the pre-Engine free-function surface, reimplemented
 // as thin one-job submissions so every call path exercises the same batch
-// engine. Prefer api::Engine for new code — these exist so callers written
-// against the original `synthesize(dsl, segments, opts)` shape keep working
-// and so tests can assert wrapper/engine equivalence.
+// engine. Deprecated since API version 1 (see api/version.hpp): new code
+// builds an api::JobSpec and runs it through api::Engine (or the single
+// codec, api::spec_from_json). These stay so callers written against the
+// original `synthesize(dsl, segments, opts)` shape keep working and so tests
+// can pin wrapper/engine equivalence until removal.
 #pragma once
 
 #include <vector>
@@ -17,11 +19,13 @@ namespace abg::api {
 // One-job Engine run of the refinement search (Algorithm 1) over
 // pre-segmented input. Bit-identical to synth::synthesize with the same
 // arguments; the pool is sized from opts.threads.
+[[deprecated("build a JobSpec and run it through api::Engine")]]
 synth::SynthesisResult synthesize(const dsl::Dsl& dsl,
                                   const std::vector<trace::Segment>& segments,
                                   const synth::SynthesisOptions& opts = {});
 
 // One-job Engine run of the HotNets'21 decision-problem baseline.
+[[deprecated("build a kMister880 JobSpec and run it through api::Engine")]]
 synth::Mister880Result run_mister880(const dsl::Dsl& dsl,
                                      const std::vector<trace::Segment>& segments,
                                      const synth::Mister880Options& opts = {});

@@ -4,8 +4,10 @@
 #include <limits>
 #include <utility>
 
+#include "api/version.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_events.hpp"
 #include "util/log.hpp"
@@ -116,6 +118,10 @@ Engine::Engine(EngineOptions opts) : opts_([&] {
       return resolved;
     }()),
     pool_(opts_.threads) {
+  // Every metrics/report snapshot taken while an Engine exists names the API
+  // surface it was produced under, so abg_report comparisons across versions
+  // fail loudly instead of silently diffing incompatible runs.
+  obs::set_report_meta("api_version", ABG_API_VERSION);
   drivers_.reserve(opts_.max_concurrent_jobs);
   for (std::size_t i = 0; i < opts_.max_concurrent_jobs; ++i) {
     drivers_.emplace_back([this] { driver_loop(); });

@@ -1,9 +1,12 @@
 #include "api/manifest.hpp"
 
+#include <limits>
 #include <set>
 #include <utility>
 
 #include "distance/simd.hpp"
+#include "obs/json.hpp"
+#include "util/csv.hpp"
 #include "util/json_parse.hpp"
 
 namespace abg::api {
@@ -64,11 +67,17 @@ const std::set<std::string>& known_job_keys() {
       "concretize_budget", "max_depth",  "max_nodes",
       "max_holes",     "warmup_s",       "min_segment_samples",
       "fast_path",     "repair_traces",  "checkpoint",
-      "resume",        "journal",        "simd"};
+      "resume",        "journal",        "simd",
+      // Search-shape knobs the distributed worker protocol must carry so a
+      // shard searches exactly what the submitting process would (ISSUE 9).
+      "initial_keep",  "initial_segments", "final_validation_segments",
+      "sample_growth", "exhaustive_cap", "unit_check"};
   return keys;
 }
 
-util::Status parse_job(const util::JsonValue& j, JobSpec* spec) {
+}  // namespace
+
+util::Status spec_from_json(const util::JsonValue& j, JobSpec* spec) {
   if (!j.is_object()) return bad("job entry must be an object");
   for (const auto& [key, value] : j.members()) {
     (void)value;
@@ -125,23 +134,59 @@ util::Status parse_job(const util::JsonValue& j, JobSpec* spec) {
     }
   }
 
-  if (auto st = read_double(j, "timeout_s", &synth.timeout_s); !st.is_ok()) return st;
+  // "timeout_s": null = no deadline (JSON has no infinity literal; the
+  // serializer emits null for an infinite deadline).
+  if (const auto* v = j.find("timeout_s")) {
+    if (v->is_null()) {
+      synth.timeout_s = std::numeric_limits<double>::infinity();
+    } else if (!v->is_number()) {
+      return bad("'timeout_s' must be a number or null (null = no deadline)");
+    } else {
+      synth.timeout_s = v->as_double();
+    }
+  }
+  // "seed": a decimal string carries the full u64 range; a JSON number is
+  // also accepted (legacy manifests) but loses precision above 2^53.
   if (const auto* v = j.find("seed")) {
-    if (!v->is_number()) return bad("'seed' must be a number");
-    synth.seed = static_cast<std::uint64_t>(v->as_int());
+    if (v->is_string()) {
+      if (!util::parse_u64(v->as_string(), &synth.seed)) {
+        return bad("'seed' must be a u64 (number or decimal string)");
+      }
+    } else if (v->is_number()) {
+      synth.seed = static_cast<std::uint64_t>(v->as_int());
+    } else {
+      return bad("'seed' must be a u64 (number or decimal string)");
+    }
   }
   if (auto st = read_int(j, "max_iterations", &synth.max_iterations); !st.is_ok()) return st;
   if (auto st = read_int(j, "initial_samples", &synth.initial_samples); !st.is_ok()) return st;
   if (auto st = read_size(j, "concretize_budget", &synth.concretize_budget); !st.is_ok()) return st;
-  {
+  // "max_depth"/"max_nodes": null = unbounded (std::nullopt); absent keeps
+  // the manifest-dialect defaults above.
+  if (const auto* v = j.find("max_depth"); v && v->is_null()) {
+    synth.max_depth.reset();
+  } else {
     int depth = *synth.max_depth;
     if (auto st = read_int(j, "max_depth", &depth); !st.is_ok()) return st;
     synth.max_depth = depth;
+  }
+  if (const auto* v = j.find("max_nodes"); v && v->is_null()) {
+    synth.max_nodes.reset();
+  } else {
     int nodes = *synth.max_nodes;
     if (auto st = read_int(j, "max_nodes", &nodes); !st.is_ok()) return st;
     synth.max_nodes = nodes;
   }
   if (auto st = read_int(j, "max_holes", &synth.max_holes); !st.is_ok()) return st;
+  if (auto st = read_int(j, "initial_keep", &synth.initial_keep); !st.is_ok()) return st;
+  if (auto st = read_int(j, "initial_segments", &synth.initial_segments); !st.is_ok()) return st;
+  if (auto st = read_size(j, "final_validation_segments", &synth.final_validation_segments);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = read_int(j, "sample_growth", &synth.sample_growth); !st.is_ok()) return st;
+  if (auto st = read_size(j, "exhaustive_cap", &synth.exhaustive_cap); !st.is_ok()) return st;
+  if (auto st = read_bool(j, "unit_check", &synth.unit_check); !st.is_ok()) return st;
   if (auto st = read_double(j, "warmup_s", &spec->pipeline.warmup_s); !st.is_ok()) return st;
   if (auto st = read_size(j, "min_segment_samples", &spec->pipeline.min_segment_samples);
       !st.is_ok()) {
@@ -179,6 +224,100 @@ util::Status parse_job(const util::JsonValue& j, JobSpec* spec) {
   return util::Status::ok();
 }
 
+util::Result<JobSpec> spec_from_json(std::string_view json_text) {
+  auto doc = util::parse_json(json_text);
+  if (!doc.ok()) return doc.status();
+  JobSpec spec;
+  if (auto st = spec_from_json(*doc, &spec); !st.is_ok()) return st;
+  return spec;
+}
+
+std::string spec_to_json(const JobSpec& spec) {
+  const auto& synth = spec.pipeline.synth;
+  obs::JsonWriter w;
+  w.begin_object();
+  if (!spec.name.empty()) {
+    w.key("name");
+    w.value(spec.name);
+  }
+  w.key("traces");
+  w.begin_array();
+  for (const auto& p : spec.trace_paths) w.value(p);
+  w.end_array();
+  w.key("kind");
+  w.value(spec.kind == JobSpec::Kind::kMister880 ? "mister880" : "pipeline");
+  if (spec.pipeline.dsl_override) {
+    w.key("dsl");
+    w.value(*spec.pipeline.dsl_override);
+  }
+  w.key("metric");
+  w.value(synth.metric == distance::Metric::kEuclidean ? "euclidean" : "dtw");
+  // JsonWriter renders a non-finite double as null, which is exactly the
+  // dialect's "no deadline" spelling.
+  w.key("timeout_s");
+  w.value(synth.timeout_s);
+  // Decimal string, not a JSON number: doubles can't carry a full u64, and
+  // the seed must survive the coordinator→worker wire bit-exactly.
+  w.key("seed");
+  w.value(std::to_string(synth.seed));
+  w.key("max_iterations");
+  w.value(static_cast<std::int64_t>(synth.max_iterations));
+  w.key("initial_samples");
+  w.value(static_cast<std::int64_t>(synth.initial_samples));
+  w.key("concretize_budget");
+  w.value(static_cast<std::uint64_t>(synth.concretize_budget));
+  w.key("max_depth");
+  if (synth.max_depth) {
+    w.value(static_cast<std::int64_t>(*synth.max_depth));
+  } else {
+    w.raw("null");
+  }
+  w.key("max_nodes");
+  if (synth.max_nodes) {
+    w.value(static_cast<std::int64_t>(*synth.max_nodes));
+  } else {
+    w.raw("null");
+  }
+  w.key("max_holes");
+  w.value(static_cast<std::int64_t>(synth.max_holes));
+  w.key("initial_keep");
+  w.value(static_cast<std::int64_t>(synth.initial_keep));
+  w.key("initial_segments");
+  w.value(static_cast<std::int64_t>(synth.initial_segments));
+  w.key("final_validation_segments");
+  w.value(static_cast<std::uint64_t>(synth.final_validation_segments));
+  w.key("sample_growth");
+  w.value(static_cast<std::int64_t>(synth.sample_growth));
+  w.key("exhaustive_cap");
+  w.value(static_cast<std::uint64_t>(synth.exhaustive_cap));
+  w.key("unit_check");
+  w.value(synth.unit_check);
+  w.key("warmup_s");
+  w.value(spec.pipeline.warmup_s);
+  w.key("min_segment_samples");
+  w.value(static_cast<std::uint64_t>(spec.pipeline.min_segment_samples));
+  w.key("fast_path");
+  w.value(synth.use_eval_cache && synth.early_abandon && synth.batch_replay);
+  if (synth.simd != distance::Simd::kAuto) {
+    w.key("simd");
+    w.value(distance::simd_name(synth.simd));
+  }
+  w.key("repair_traces");
+  w.value(spec.load.repair);
+  if (!synth.checkpoint_path.empty()) {
+    w.key("checkpoint");
+    w.value(synth.checkpoint_path);
+  }
+  w.key("resume");
+  w.value(synth.resume);
+  w.key("journal");
+  w.value(synth.journal);
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
 util::Result<Manifest> parse_manifest_doc(const util::JsonValue& doc) {
   if (!doc.is_object()) return bad("manifest must be a JSON object");
 
@@ -207,7 +346,7 @@ util::Result<Manifest> parse_manifest_doc(const util::JsonValue& doc) {
   m.jobs.reserve(jobs->items().size());
   for (std::size_t i = 0; i < jobs->items().size(); ++i) {
     JobSpec spec;
-    if (auto st = parse_job(jobs->items()[i], &spec); !st.is_ok()) {
+    if (auto st = spec_from_json(jobs->items()[i], &spec); !st.is_ok()) {
       return st.with_context("jobs[" + std::to_string(i) + "]");
     }
     m.jobs.push_back(std::move(spec));
@@ -224,11 +363,7 @@ util::Result<Manifest> parse_manifest(std::string_view json_text) {
 }
 
 util::Result<JobSpec> parse_job_spec(std::string_view json_text) {
-  auto doc = util::parse_json(json_text);
-  if (!doc.ok()) return doc.status();
-  JobSpec spec;
-  if (auto st = parse_job(*doc, &spec); !st.is_ok()) return st;
-  return spec;
+  return spec_from_json(json_text);
 }
 
 util::Result<Manifest> load_manifest(const std::string& path) {

@@ -12,13 +12,20 @@
 //         "traces": ["a.csv", ...], // required
 //         "kind": "pipeline",       // or "mister880"; default pipeline
 //         "dsl": "reno",            // optional forced sub-DSL
-//         "timeout_s": 120, "seed": 7, "metric": "dtw" | "euclidean",
+//         "timeout_s": 120,         // null = no deadline
+//         "seed": "7",              // u64; decimal string or number
+//         "metric": "dtw" | "euclidean",
 //         "max_iterations": 6, "initial_samples": 16,
-//         "concretize_budget": 24, "max_depth": 4, "max_nodes": 9,
+//         "concretize_budget": 24,
+//         "max_depth": 4, "max_nodes": 9,   // null = unbounded
 //         "max_holes": 3, "warmup_s": 2.0, "min_segment_samples": 20,
 //         "fast_path": true, "repair_traces": false,
 //         "checkpoint": "state.bin", "resume": false,
-//         "journal": true           // participate in --journal-out recording
+//         "journal": true,          // participate in --journal-out recording
+//         "simd": "auto",           // scalar | sse2 | avx2 | auto
+//         "initial_keep": 4, "initial_segments": 2,
+//         "final_validation_segments": 0, "sample_growth": 2,
+//         "exhaustive_cap": 20000, "unit_check": true
 //       }, ...
 //     ]
 //   }
@@ -32,6 +39,7 @@
 
 #include "api/engine.hpp"
 #include "api/job.hpp"
+#include "util/json_parse.hpp"
 #include "util/result.hpp"
 
 namespace abg::api {
@@ -53,6 +61,26 @@ util::Result<Manifest> parse_manifest(std::string_view json_text);
 // serve daemon (ISSUE 8): the exact same keys and defaults as a manifest
 // entry, so a job moves between batch and service submission unchanged.
 util::Result<JobSpec> parse_job_spec(std::string_view json_text);
+
+// --- The canonical JobSpec codec (ISSUE 9). --------------------------------
+// Every surface that accepts a job — `abagnale_cli synthesize` flags, batch
+// manifest entries, POST /v1/jobs bodies, and the coordinator→worker shard
+// protocol — parses through spec_from_json and serializes through
+// spec_to_json. One dialect, one set of defaults, one unknown-key rejection
+// (kInvalidArgument naming the field).
+//
+// spec_to_json emits every knob explicitly (including the codec defaults),
+// so spec_from_json(spec_to_json(s)) reproduces s exactly for any spec the
+// dialect can express. timeout_s serializes as null when infinite and null
+// parses back to infinity; max_depth/max_nodes serialize as null when
+// unbounded. seed serializes as a decimal string (a JSON double cannot carry
+// a full u64 bit-exactly; numbers are still accepted on parse for legacy
+// manifests). fast_path collapses the three work-saving knobs
+// (use_eval_cache / early_abandon / batch_replay) to their conjunction, as
+// the parse side has always fanned one key into all three.
+util::Status spec_from_json(const util::JsonValue& j, JobSpec* spec);
+util::Result<JobSpec> spec_from_json(std::string_view json_text);
+std::string spec_to_json(const JobSpec& spec);
 
 // Load + parse a manifest file.
 util::Result<Manifest> load_manifest(const std::string& path);

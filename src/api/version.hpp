@@ -1,0 +1,13 @@
+// The public API/wire version, stamped into report metadata ("api_version")
+// and matched by the versioned HTTP surface: every route the serve layer and
+// the distributed worker protocol expose lives under /v1/ (unversioned
+// aliases still answer, with a Deprecation header — see obs::StatusServer).
+//
+// Bump this only together with a new /vN route prefix; the macro is a string
+// so report-meta comparisons (abg_report) stay textual.
+#ifndef ABG_API_VERSION_HPP_
+#define ABG_API_VERSION_HPP_
+
+#define ABG_API_VERSION "1"
+
+#endif  // ABG_API_VERSION_HPP_

@@ -1,0 +1,141 @@
+#include "dist/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/stopwatch.hpp"
+
+namespace abg::dist {
+
+namespace {
+
+util::Status io_error(const std::string& msg) {
+  return util::Status(util::StatusCode::kIoError, msg);
+}
+
+// Milliseconds left of the budget; <= 0 means expired.
+int budget_ms(const util::Stopwatch& clock, double timeout_s) {
+  const double left = (timeout_s - clock.elapsed_seconds()) * 1000.0;
+  if (left <= 0.0) return 0;
+  return left > 60000.0 ? 60000 : static_cast<int>(left) + 1;
+}
+
+// Wait for the fd to become readable/writable within the remaining budget.
+util::Status wait_fd(int fd, short events, const util::Stopwatch& clock, double timeout_s,
+                     const char* what) {
+  const int ms = budget_ms(clock, timeout_s);
+  if (ms <= 0) return io_error(std::string("timed out during ") + what);
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  const int r = ::poll(&p, 1, ms);
+  if (r < 0) return io_error(std::string("poll failed during ") + what);
+  if (r == 0) return io_error(std::string("timed out during ") + what);
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Result<HttpReply> http_request(const std::string& host, std::uint16_t port,
+                                     const std::string& method, const std::string& path,
+                                     const std::string& body, double timeout_s) {
+  util::Stopwatch clock;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status(util::StatusCode::kInvalidArgument, "bad host address " + host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("socket() failed");
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{fd};
+
+  // Non-blocking connect so the budget applies to a black-holed peer too.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      return io_error("connect to " + host + ":" + std::to_string(port) + " failed: " +
+                      std::strerror(errno));
+    }
+    if (auto st = wait_fd(fd, POLLOUT, clock, timeout_s, "connect"); !st.is_ok()) return st;
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      return io_error("connect to " + host + ":" + std::to_string(port) + " failed: " +
+                      std::strerror(soerr != 0 ? soerr : errno));
+    }
+  }
+
+  std::string req = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nConnection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    req += "Content-Type: application/json\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n" + body;
+
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (auto st = wait_fd(fd, POLLOUT, clock, timeout_s, "send"); !st.is_ok()) return st;
+      continue;
+    }
+    return io_error(std::string("send failed: ") + std::strerror(errno));
+  }
+
+  // Read to EOF (the server closes after one response).
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<std::size_t>(n));
+      if (raw.size() > (64u << 20)) return io_error("response exceeds 64 MiB");
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (auto st = wait_fd(fd, POLLIN, clock, timeout_s, "recv"); !st.is_ok()) return st;
+      continue;
+    }
+    return io_error(std::string("recv failed: ") + std::strerror(errno));
+  }
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return util::Status(util::StatusCode::kParseError, "malformed HTTP response (no header end)");
+  }
+  // Status line: "HTTP/1.1 200 OK".
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size() || raw.compare(0, 5, "HTTP/") != 0) {
+    return util::Status(util::StatusCode::kParseError, "malformed HTTP status line");
+  }
+  HttpReply reply;
+  reply.code = std::atoi(raw.c_str() + sp + 1);
+  if (reply.code < 100 || reply.code > 599) {
+    return util::Status(util::StatusCode::kParseError, "malformed HTTP status code");
+  }
+  reply.head = raw.substr(0, head_end + 2);
+  reply.body = raw.substr(head_end + 4);
+  return reply;
+}
+
+}  // namespace abg::dist

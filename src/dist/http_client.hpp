@@ -1,0 +1,34 @@
+// Minimal blocking HTTP/1.1 client for the shard protocol — the request-side
+// counterpart of obs::StatusServer, with the same no-dependency stance. One
+// request per connection (the server answers Connection: close), bounded by
+// a wall-clock budget across connect + send + receive, so a dead worker costs
+// the coordinator `timeout_s`, never a hang.
+//
+// Failure taxonomy matches the rest of the codebase: kIoError for anything
+// network-shaped (refused, timed out, reset), kParseError for a response the
+// peer produced but this client cannot understand. Callers treat a streak of
+// kIoError as worker death.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace abg::dist {
+
+struct HttpReply {
+  int code = 0;
+  // The raw header block (status line + header lines, CRLF-terminated), for
+  // callers that inspect response headers (tests assert Deprecation here).
+  std::string head;
+  std::string body;
+};
+
+// `host` is an IPv4 dotted quad ("127.0.0.1"); the shard protocol never
+// needs name resolution. An empty body with method GET sends no body.
+util::Result<HttpReply> http_request(const std::string& host, std::uint16_t port,
+                                     const std::string& method, const std::string& path,
+                                     const std::string& body, double timeout_s);
+
+}  // namespace abg::dist

@@ -9,12 +9,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <set>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "obs/prometheus.hpp"
 
 namespace abg::obs {
@@ -171,6 +173,30 @@ HttpResponse HttpResponse::json(int code, std::string body) {
   return HttpResponse{code, "application/json", std::move(body), {}};
 }
 
+HttpResponse error_response(int http_code, std::string_view code, std::string_view message,
+                            double retry_after_s) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("error");
+  w.begin_object();
+  w.key("code");
+  w.value(code);
+  w.key("message");
+  w.value(message);
+  if (retry_after_s >= 0.0) {
+    w.key("retry_after_s");
+    w.value(retry_after_s);
+  }
+  w.end_object();
+  w.end_object();
+  HttpResponse resp = HttpResponse::json(http_code, w.take() + "\n");
+  if (retry_after_s >= 0.0) {
+    resp.headers.emplace_back(
+        "Retry-After", std::to_string(static_cast<long long>(std::ceil(retry_after_s))));
+  }
+  return resp;
+}
+
 struct StatusServer::Impl {
   int listen_fd = -1;
   int wake_pipe[2] = {-1, -1};  // self-pipe: stop() writes, server thread polls
@@ -203,11 +229,13 @@ struct StatusServer::Impl {
       // hardening; a generic 404 here hides the route from the caller).
       std::string allow;
       for (const auto& m : allowed) allow += (allow.empty() ? "" : ", ") + m;
-      HttpResponse resp = HttpResponse::text(405, "method not allowed\n");
+      HttpResponse resp = error_response(405, "method_not_allowed",
+                                         req.method + " is not supported on " + req.path +
+                                             " (Allow: " + allow + ")");
       resp.headers.emplace_back("Allow", allow);
       return resp;
     }
-    return HttpResponse::text(404, "not found\n");
+    return error_response(404, "not_found", "no route for " + req.path);
   }
 
   void serve_connection(int fd) {
@@ -229,10 +257,22 @@ struct StatusServer::Impl {
       return;
     }
 
+    // Versioned surface (ISSUE 9): /v1/<path> is the canonical spelling of
+    // every route; handlers are registered (and dispatched) on the legacy
+    // unversioned path, so the prefix is stripped here. Unversioned requests
+    // keep working but answer with a Deprecation header plus a Link to their
+    // /v1 successor.
+    const bool versioned =
+        req.path == "/v1" || (req.path.size() > 3 && req.path.compare(0, 4, "/v1/") == 0);
+    const std::string unversioned_path = req.path;
+    if (versioned) {
+      req.path = req.path.size() > 3 ? req.path.substr(3) : std::string("/");
+    }
+
     HttpResponse resp;
     bool parsed_body = true;
     if (!req.header("transfer-encoding").empty()) {
-      resp = HttpResponse::text(501, "chunked bodies not supported\n");
+      resp = error_response(501, "not_implemented", "chunked request bodies are not supported");
       parsed_body = false;
     } else {
       std::size_t content_length = 0;
@@ -241,7 +281,7 @@ struct StatusServer::Impl {
         char* end = nullptr;
         const unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
         if (end == nullptr || *end != '\0') {
-          resp = HttpResponse::text(400, "bad Content-Length\n");
+          resp = error_response(400, "bad_request", "malformed Content-Length header");
           parsed_body = false;
         } else {
           content_length = static_cast<std::size_t>(v);
@@ -249,7 +289,9 @@ struct StatusServer::Impl {
       }
       if (parsed_body && content_length > max_body_bytes) {
         // Shed before reading: the declared body alone breaches the bound.
-        resp = HttpResponse::text(413, "request body too large\n");
+        resp = error_response(413, "payload_too_large",
+                              "request body exceeds " + std::to_string(max_body_bytes) +
+                                  " bytes");
         parsed_body = false;
       } else if (parsed_body) {
         // Body: own 5 s budget; cap guards a client lying low with a small
@@ -267,6 +309,13 @@ struct StatusServer::Impl {
         req.body = std::move(body);
         resp = dispatch(req);
       }
+    }
+    if (!versioned) {
+      // Deprecation (RFC 9745) + the successor link, on every unversioned
+      // response — transport errors included, so clients migrating off the
+      // legacy spelling hear about it no matter what they hit.
+      resp.headers.emplace_back("Deprecation", "true");
+      resp.headers.emplace_back("Link", "</v1" + unversioned_path + ">; rel=\"successor-version\"");
     }
     write_all(fd, render_response(resp));
     ::close(fd);

@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,19 @@ struct HttpResponse {
   static HttpResponse text(int code, std::string body);
   static HttpResponse json(int code, std::string body);
 };
+
+// The one JSON error envelope every HTTP surface answers with (ISSUE 9):
+//
+//   {"error": {"code": "<machine-readable>", "message": "<human-readable>",
+//              "retry_after_s": <seconds>}}     // retry_after_s only when >= 0
+//
+// `code` is a stable machine-readable identifier (transport-level codes like
+// "not_found"/"method_not_allowed" here; the serve layer maps its
+// util::StatusCode taxonomy through status_code_name). A non-negative
+// retry_after_s additionally emits a Retry-After header (rounded up to whole
+// seconds, as the header demands).
+HttpResponse error_response(int http_code, std::string_view code, std::string_view message,
+                            double retry_after_s = -1.0);
 
 class StatusServer {
  public:

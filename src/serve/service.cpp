@@ -23,20 +23,24 @@ namespace abg::serve {
 
 namespace {
 
-obs::HttpResponse json_error(int code, const std::string& msg) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.key("error");
-  w.value(msg);
-  w.end_object();
-  return obs::HttpResponse::json(code, w.take());
+// All error bodies use the one /v1 envelope (obs::error_response). `code` is
+// the machine-readable identifier: a util::status_code_name for
+// status-derived errors, or a service-level word (rate_limited/queue_full/
+// draining/not_found) for admission outcomes.
+obs::HttpResponse json_error(int http_code, const std::string& code, const std::string& msg) {
+  return obs::error_response(http_code, code, msg);
 }
 
-obs::HttpResponse shed(int code, const std::string& msg, double retry_after_s) {
-  obs::HttpResponse resp = json_error(code, msg);
-  const long long secs = std::max(1ll, static_cast<long long>(std::ceil(retry_after_s)));
-  resp.headers.emplace_back("Retry-After", std::to_string(secs));
-  return resp;
+// Status-derived rejection: the envelope code is the taxonomy name
+// ("parse-error", "invalid-argument", ...), so clients can branch without
+// string-matching the message.
+obs::HttpResponse status_error(int http_code, const util::Status& st) {
+  return obs::error_response(http_code, util::status_code_name(st.code()), st.to_string());
+}
+
+obs::HttpResponse shed(int http_code, const std::string& code, const std::string& msg,
+                       double retry_after_s) {
+  return obs::error_response(http_code, code, msg, std::max(1.0, retry_after_s));
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -183,6 +187,10 @@ util::Status Service::start() {
   }
 
   engine_ = std::make_unique<api::Engine>(opts_.engine);
+  if (!opts_.dist.workers.empty()) {
+    coordinator_ = std::make_unique<dist::Coordinator>(opts_.dist);
+    ABG_INFO("distributed dispatch: %zu workers attached", opts_.dist.workers.size());
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   started_ = true;
   return util::Status::ok();
@@ -198,26 +206,28 @@ void Service::mount(obs::StatusServer& server) {
 }
 
 obs::HttpResponse Service::handle_submit(const obs::HttpRequest& req) {
-  if (req.path != "/jobs") return json_error(404, "POST goes to /jobs");
+  if (req.path != "/jobs") return json_error(404, "not_found", "POST goes to /jobs");
   if (draining_.load(std::memory_order_acquire)) {
-    return shed(503, "draining", 5.0);
+    return shed(503, "draining", "draining: not accepting new jobs", 5.0);
   }
   std::string client = req.header("x-abg-client");
   if (client.empty()) client = "anonymous";
 
   const AdmissionDecision d = admission_.admit(client);
   if (!d.admitted) {
-    return shed(429, "rate limit for client '" + client + "'", d.retry_after_s);
+    return shed(429, "rate_limited", "rate limit for client '" + client + "'",
+                d.retry_after_s);
   }
 
   const std::size_t backlog = pending_.size();
   if (backlog >= pending_.capacity()) {
     static auto& c_shed = obs::counter("serve.shed_queue_full");
     c_shed.add();
-    return shed(503, "queue full (" + std::to_string(backlog) + " pending)", 2.0);
+    return shed(503, "queue_full",
+                "queue full (" + std::to_string(backlog) + " pending)", 2.0);
   }
 
-  if (req.body.empty()) return json_error(400, "empty body");
+  if (req.body.empty()) return json_error(400, "bad_request", "empty body");
 
   std::string id;
   {
@@ -236,7 +246,7 @@ obs::HttpResponse Service::handle_submit(const obs::HttpRequest& req) {
     if (auto st = util::atomic_write_file(store_.trace_path(id), req.body,
                                           /*durable=*/true);
         !st.is_ok()) {
-      return json_error(500, st.to_string());
+      return status_error(500, st);
     }
     obs::JsonWriter w;
     w.begin_object();
@@ -251,11 +261,11 @@ obs::HttpResponse Service::handle_submit(const obs::HttpRequest& req) {
   // Admission-time validation (ISSUE 8): a spec that cannot run is rejected
   // here with the reason, never enqueued to fail later.
   auto parsed = api::parse_job_spec(spec_json);
-  if (!parsed.ok()) return json_error(400, parsed.status().to_string());
-  if (auto st = parsed->validate(); !st.is_ok()) return json_error(400, st.to_string());
+  if (!parsed.ok()) return status_error(400, parsed.status());
+  if (auto st = parsed->validate(); !st.is_ok()) return status_error(400, st);
 
   if (auto st = store_.record_submit(id, client, spec_json); !st.is_ok()) {
-    return json_error(500, st.to_string());
+    return status_error(500, st);
   }
   if (!pending_.try_push(id)) {
     // Raced to full between the check above and here; keep the durable state
@@ -263,7 +273,7 @@ obs::HttpResponse Service::handle_submit(const obs::HttpRequest& req) {
     (void)store_.record_terminal(id, JobPhase::kFailed, "queue full at enqueue", "");
     static auto& c_shed = obs::counter("serve.shed_queue_full");
     c_shed.add();
-    return shed(503, "queue full", 2.0);
+    return shed(503, "queue_full", "queue full", 2.0);
   }
   static auto& c_submitted = obs::counter("serve.submitted");
   c_submitted.add();
@@ -283,9 +293,9 @@ obs::HttpResponse Service::handle_get(const obs::HttpRequest& req) {
     return obs::HttpResponse::json(200, jobs_list_json());
   }
   std::string id, rest;
-  if (!split_job_path(req.path, &id, &rest)) return json_error(404, "not found");
+  if (!split_job_path(req.path, &id, &rest)) return json_error(404, "not_found", "not found");
   JobRecord rec;
-  if (!store_.lookup(id, &rec)) return json_error(404, "unknown job " + id);
+  if (!store_.lookup(id, &rec)) return json_error(404, "not_found", "unknown job " + id);
 
   if (rest == "/result") {
     if (!job_phase_terminal(rec.phase)) {
@@ -317,7 +327,7 @@ obs::HttpResponse Service::handle_get(const obs::HttpRequest& req) {
     w.end_object();
     return obs::HttpResponse::json(200, w.take());
   }
-  if (!rest.empty()) return json_error(404, "not found");
+  if (!rest.empty()) return json_error(404, "not_found", "not found");
 
   obs::JsonWriter w;
   w.begin_object();
@@ -340,19 +350,19 @@ obs::HttpResponse Service::handle_get(const obs::HttpRequest& req) {
 obs::HttpResponse Service::handle_delete(const obs::HttpRequest& req) {
   std::string id, rest;
   if (!split_job_path(req.path, &id, &rest) || !rest.empty()) {
-    return json_error(404, "DELETE goes to /jobs/<id>");
+    return json_error(404, "not_found", "DELETE goes to /jobs/<id>");
   }
   JobRecord rec;
-  if (!store_.lookup(id, &rec)) return json_error(404, "unknown job " + id);
+  if (!store_.lookup(id, &rec)) return json_error(404, "not_found", "unknown job " + id);
   if (job_phase_terminal(rec.phase)) {
-    return json_error(409, "job " + id + " already " + job_phase_name(rec.phase));
+    return json_error(409, "conflict", "job " + id + " already " + job_phase_name(rec.phase));
   }
 
   if (pending_.remove(id)) {
     static auto& c_cancelled = obs::counter("serve.jobs_cancelled");
     if (auto st = store_.record_terminal(id, JobPhase::kCancelled, "", "");
         !st.is_ok()) {
-      return json_error(500, st.to_string());
+      return status_error(500, st);
     }
     c_cancelled.add();
     obs::JsonWriter w;
@@ -366,12 +376,17 @@ obs::HttpResponse Service::handle_delete(const obs::HttpRequest& req) {
   }
 
   api::JobHandle handle;
+  std::shared_ptr<util::CancellationToken> dist_tok;
   bool running = false;
   {
     std::lock_guard lk(mu_);
     const auto it = handles_.find(id);
+    const auto dit = dist_tokens_.find(id);
     if (it != handles_.end()) {
       handle = it->second;
+      running = true;
+    } else if (dit != dist_tokens_.end()) {
+      dist_tok = dit->second;
       running = true;
     } else {
       // Between queue and engine (the dispatcher has it): flag it so the
@@ -379,7 +394,11 @@ obs::HttpResponse Service::handle_delete(const obs::HttpRequest& req) {
       cancel_requested_.insert(id);
     }
   }
-  if (running) handle.cancel();
+  if (dist_tok) {
+    dist_tok->cancel();
+  } else if (running) {
+    handle.cancel();
+  }
 
   obs::JsonWriter w;
   w.begin_object();
@@ -492,12 +511,15 @@ void Service::dispatch_one(const std::string& id) {
     const int n = iters->fetch_add(1, std::memory_order_relaxed) + 1;
     (void)store_.record_progress(id, n);
   });
-  spec.with_completion_callback(
-      [this, id](const api::JobResult& r) { on_job_complete(id, r); });
-
   if (auto st = store_.record_running(id); !st.is_ok()) {
     ABG_WARN("job %s: running record failed: %s", id.c_str(), st.to_string().c_str());
   }
+  if (coordinator_ && dist::spec_is_distributable(spec)) {
+    dispatch_distributed(id, std::move(spec));
+    return;
+  }
+  spec.with_completion_callback(
+      [this, id](const api::JobResult& r) { on_job_complete(id, r); });
   {
     // Count the slot before submit: the driver may finish (and decrement)
     // before submit() even returns.
@@ -523,6 +545,31 @@ void Service::dispatch_one(const std::string& id) {
     cancel_now = cancel_requested_.erase(id) > 0;
   }
   if (cancel_now) handle->cancel();
+}
+
+// Distributed jobs hold no engine driver slot, but they still count against
+// active_jobs_ so the concurrency gate and drain see them; their lifecycle
+// (running record, terminal record, cancel) is byte-for-byte the local one.
+void Service::dispatch_distributed(const std::string& id, api::JobSpec spec) {
+  auto tok = std::make_shared<util::CancellationToken>();
+  bool cancel_now = false;
+  {
+    std::lock_guard lk(mu_);
+    ++active_jobs_;
+    dist_tokens_[id] = tok;
+    cancel_now = cancel_requested_.erase(id) > 0;
+  }
+  if (cancel_now) tok->cancel();
+  std::thread th([this, id, tok, spec = std::move(spec)] {
+    const api::JobResult r = coordinator_->run(spec, tok.get());
+    {
+      std::lock_guard lk(mu_);
+      dist_tokens_.erase(id);
+    }
+    on_job_complete(id, r);
+  });
+  std::lock_guard lk(mu_);
+  dist_threads_.push_back(std::move(th));
 }
 
 void Service::on_job_complete(const std::string& id, const api::JobResult& r) {
@@ -600,6 +647,20 @@ void Service::drain_and_stop() {
   // records and exits. Only then tear down the engine, so the dispatcher can
   // never touch a dead engine pointer.
   if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    // Distributed jobs park the same way engine jobs do: cancel the
+    // coordinator token, let its thread run on_job_complete (kCancelled
+    // while draining -> a suspended record), then join.
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard lk(mu_);
+      for (auto& [id, tok] : dist_tokens_) tok->cancel();
+      threads.swap(dist_threads_);
+    }
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
   if (engine_) {
     engine_->cancel_all();
     engine_.reset();  // waits for drivers; running jobs park via on_complete
@@ -621,6 +682,17 @@ void Service::abandon_for_test() {
   pending_.close();
   slot_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard lk(mu_);
+      for (auto& [id, tok] : dist_tokens_) tok->cancel();
+      threads.swap(dist_threads_);
+    }
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
   if (engine_) {
     engine_->cancel_all();
     engine_.reset();

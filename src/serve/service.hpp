@@ -43,10 +43,12 @@
 #include <thread>
 
 #include "api/engine.hpp"
+#include "dist/coordinator.hpp"
 #include "obs/status_server.hpp"
 #include "serve/admission.hpp"
 #include "serve/job_store.hpp"
 #include "serve/queue.hpp"
+#include "util/cancellation.hpp"
 #include "util/status.hpp"
 
 namespace abg::serve {
@@ -59,6 +61,11 @@ struct ServiceOptions {
   // >0 clamps every job's timeout_s (a service should not let one client
   // park a driver thread for an unbounded run).
   double max_job_timeout_s = 0.0;
+  // Non-empty dist.workers turns on distributed dispatch: jobs that
+  // dist::spec_is_distributable accepts run through a dist::Coordinator over
+  // this worker fleet instead of the local engine (everything else — queueing,
+  // WAL records, checkpoints, cancel — behaves identically).
+  dist::CoordinatorOptions dist;
 };
 
 class Service {
@@ -102,6 +109,7 @@ class Service {
  private:
   void dispatcher_loop();
   void dispatch_one(const std::string& id);
+  void dispatch_distributed(const std::string& id, api::JobSpec spec);
   void on_job_complete(const std::string& id, const api::JobResult& r);
   std::string jobs_list_json() const;
 
@@ -110,6 +118,7 @@ class Service {
   PendingQueue pending_;
   AdmissionController admission_;
   std::unique_ptr<api::Engine> engine_;
+  std::unique_ptr<dist::Coordinator> coordinator_;
 
   std::thread dispatcher_;
   std::atomic<bool> draining_{false};
@@ -123,8 +132,12 @@ class Service {
   std::condition_variable slot_cv_;  // a driver slot freed / draining began
   std::size_t active_jobs_ = 0;
   std::uint64_t next_id_ = 1;
-  std::map<std::string, api::JobHandle> handles_;  // running jobs
-  std::set<std::string> cancel_requested_;         // cancel raced dispatch
+  std::map<std::string, api::JobHandle> handles_;  // running jobs (local engine)
+  // Jobs running on the worker fleet: per-job cancellation tokens (DELETE
+  // fires them) and the coordinator threads to join at drain.
+  std::map<std::string, std::shared_ptr<util::CancellationToken>> dist_tokens_;
+  std::vector<std::thread> dist_threads_;
+  std::set<std::string> cancel_requested_;  // cancel raced dispatch
 };
 
 }  // namespace abg::serve

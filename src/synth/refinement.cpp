@@ -1,6 +1,7 @@
 #include "synth/refinement.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "synth/batch_eval.hpp"
 #include "synth/checkpoint.hpp"
 #include "synth/replay.hpp"
+#include "synth/shard.hpp"
 #include "trace/sampler.hpp"
 #include "util/fault_injection.hpp"
 #include "util/log.hpp"
@@ -26,15 +28,9 @@ namespace abg::synth {
 
 namespace {
 
-// Mutable per-bucket search state kept across iterations.
-struct BucketState {
-  Bucket bucket;
-  std::unique_ptr<SketchEnumerator> enumerator;  // created on first use
-  std::vector<dsl::ExprPtr> sketches;            // enumerated so far
-  ScoredHandler best;                            // best under the *current* segment set
-  std::size_t handlers_scored = 0;
-  bool exhausted = false;
-  util::Rng rng{0};
+// Per-bucket search state: the shard-able core (synth/shard.hpp, shared with
+// the distributed workers) plus this loop's obs/journal caches.
+struct BucketState : BucketSearchState {
   // Labeled {job=...,bucket=...} series, resolved on this bucket's first
   // scoring pass (only when the run carries obs_labels) and cached here so
   // the scoring path never re-enters the registry mutex.
@@ -43,20 +39,6 @@ struct BucketState {
   // scoring pass (journal_intern takes a mutex; the id is stable after).
   std::uint32_t journal_bucket = 0;
 };
-
-std::uint64_t label_seed(const std::string& label, std::uint64_t seed) {
-  std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
-  for (char c : label) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
-  return h;
-}
-
-// The effective distance options for a run: SynthesisOptions::simd, when
-// explicit, wins over whatever dopts carries (one knob, not two).
-distance::DistanceOptions effective_dopts(const SynthesisOptions& opts) {
-  distance::DistanceOptions dopts = opts.dopts;
-  if (opts.simd != distance::Simd::kAuto) dopts.simd = opts.simd;
-  return dopts;
-}
 
 // One candidate of the batched scoring window (ISSUE 7). Candidates join
 // the window in enumeration order; cache hits arrive with their distance,
@@ -291,7 +273,7 @@ ScoredHandler score_sketch(const dsl::ExprPtr& sketch,
   // enumerator recorded. Fingerprints then pin each hole assignment.
   const bool jrn = obs::journal_in_scope();
   const std::uint64_t sketch_hash = jrn ? dsl::hash_expr(*sketch) : 0;
-  const distance::DistanceOptions dopts = effective_dopts(opts);
+  const distance::DistanceOptions dopts = effective_distance_options(opts);
   std::size_t evaluated = 0;
   if (opts.batch_replay) {
     best = score_sketch_batched(sketch, segments, assignments, opts, dopts, handlers_scored,
@@ -392,7 +374,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   // downstream distance — bucket scoring and final validation alike — runs
   // the same kernel (ISSUE 7).
   SynthesisOptions opts = opts_in;
-  opts.dopts = effective_dopts(opts);
+  opts.dopts = effective_distance_options(opts);
 
   // All interrupt sources — the deadline watchdog, a caller-supplied token,
   // and injected faults — funnel into one local token polled at every safe
@@ -412,7 +394,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   for (auto& b : make_buckets(dsl)) {
     BucketState st;
     st.bucket = std::move(b);
-    st.rng = util::Rng(label_seed(st.bucket.label, opts.seed));
+    st.rng = util::Rng(bucket_rng_seed(st.bucket.label, opts.seed));
     states.push_back(std::move(st));
   }
   result.initial_buckets = states.size();
@@ -435,8 +417,11 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
         opts.threads == 0 ? std::thread::hardware_concurrency() : opts.threads);
     pool = owned_pool.get();
   }
-  std::mutex best_mu;
   std::vector<ScoredHandler> candidates;  // every bucket-best ever seen
+  // Set by any bucket task that completes a pass with a valid best. The
+  // interrupted-skip inside score_bucket consults it during the first
+  // iteration, before the post-join fold has populated result.best.
+  std::atomic<bool> pass_found{false};
 
   // One memo cache for the whole run, shared by every bucket and iteration
   // (pool workers hit different mutex stripes concurrently). Re-scoring a
@@ -455,18 +440,12 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
   std::vector<std::size_t> live(states.size());
   for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
 
-  auto make_enumerator = [&](BucketState& st) {
-    EnumeratorOptions eopts;
-    eopts.unit_check = opts.unit_check;
-    eopts.bucket = st.bucket.ops;
-    eopts.max_holes = opts.max_holes;
-    eopts.max_depth = opts.max_depth;
-    eopts.max_nodes = opts.max_nodes;
-    st.enumerator = std::make_unique<SketchEnumerator>(dsl, eopts);
-  };
-
   // Score every enumerated sketch of `st` against the current segment set;
-  // updates st.best and the global best. Respects the cancellation token:
+  // updates st.best. The caller folds bucket bests into the global best and
+  // the candidate list after the pass joins, in canonical live order —
+  // folding here (task-completion order) would make equal-distance ties
+  // racy and diverge from the distributed coordinator's deterministic
+  // merge. Respects the cancellation token:
   // once fired (deadline, caller, injected fault), stops enumerating and
   // scoring but keeps what it has (the loop always returns the best handler
   // found so far, §4.4).
@@ -487,7 +466,6 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
 
   auto score_bucket = [&](BucketState& st, std::size_t target, int iter,
                           const std::vector<trace::Segment>& working) {
-    static auto& c_sketches = obs::counter("synth.sketches_enumerated");
     obs::TraceSpan span("score " + st.bucket.label, "synth");
     std::optional<obs::JournalScope> jscope;
     if (journal_run) {
@@ -504,41 +482,22 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     // buckets outright — building their enumerators just to honor the
     // one-sketch-minimum rule below would stretch the deadline by seconds.
     if (interrupted()) {
-      std::lock_guard lk(best_mu);
-      if (result.best.valid()) return;
+      // result.best is only written between passes (pool joined), so the
+      // read is race-free; pass_found covers bests from the current pass.
+      if (result.best.valid() || pass_found.load(std::memory_order_acquire)) return;
     }
-    if (!st.enumerator && !st.exhausted) make_enumerator(st);
-    // Always enumerate at least one sketch so an expired budget still
-    // returns the best handler seen (§4.4's interrupt semantics).
-    while (st.sketches.size() < target && !st.exhausted &&
-           (st.sketches.empty() || !interrupted())) {
-      auto s = st.enumerator->next();
-      if (!s) {
-        st.exhausted = true;
-        break;
-      }
-      c_sketches.add();
-      st.sketches.push_back(std::move(*s));
-    }
+    enumerate_bucket_sketches(dsl, opts, st, target, interrupted);
     // Re-score all sketches under the (possibly grown) segment set, as
-    // Algorithm 1 line 5 does.
+    // Algorithm 1 line 5 does. The pass itself is the shared shard core
+    // (synth/shard.*) so distributed workers run character-for-character the
+    // same search.
     EvalContext ctx;
     ctx.cache = opts.use_eval_cache ? cache : nullptr;
     ctx.fingerprint = opts.use_eval_cache ? segment_set_fingerprint(working) : 0;
     ctx.cancel = &tok;
     ctx.cache_hit_tally = &run_cache_hits;
     ctx.cache_miss_tally = &run_cache_misses;
-    ScoredHandler bucket_best;
-    for (const auto& sk : st.sketches) {
-      // Bound by this bucket's own best, not the global one: the per-bucket
-      // minimum feeds the top-k ranking and must stay exact.
-      ctx.abandon_above = bucket_best.distance;
-      auto scored = score_sketch(sk, working, dsl.constant_pool, opts, st.rng,
-                                 &st.handlers_scored, &ctx);
-      if (scored.distance < bucket_best.distance) bucket_best = scored;
-      if (interrupted() && bucket_best.valid()) break;
-    }
-    st.best = bucket_best;
+    const ScoredHandler bucket_best = score_bucket_pass(dsl, opts, st, working, &ctx, interrupted);
     if (st.labeled_scored != nullptr) {
       st.labeled_scored->add(st.handlers_scored - scored_before);
     }
@@ -550,11 +509,22 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
                                    obs::journal_intern(dsl::to_string(*bucket_best.handler)),
                                    false);
     }
-    if (bucket_best.valid()) {
-      std::lock_guard lk(best_mu);
+    if (bucket_best.valid()) pass_found.store(true, std::memory_order_release);
+  };
+
+  // Fold one pass's bucket bests into the global best and the candidate
+  // list, in the given (pre-sort) live order — the exact order the
+  // distributed coordinator merges shard checkpoints in — so equal-distance
+  // ties resolve identically in-process and across workers instead of by
+  // task-completion order.
+  auto fold_pass = [&](const std::vector<std::size_t>& order) {
+    for (std::size_t idx : order) {
+      const ScoredHandler& bucket_best = states[idx].best;
+      if (!bucket_best.valid()) continue;
       if (bucket_best.distance < result.best.distance) result.best = bucket_best;
       candidates.push_back(bucket_best);
     }
+    pass_found.store(false, std::memory_order_relaxed);
   };
 
   // --- Checkpoint save/restore (ISSUE 3). ----------------------------------
@@ -573,18 +543,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     ck.sampler_rng = sampler.rng_state();
     ck.sampler_selected = sampler.selected();
     ck.live = live;
-    for (const auto& st : states) {
-      BucketCheckpoint b;
-      b.label = st.bucket.label;
-      b.sketches = st.sketches.size();
-      b.handlers_scored = st.handlers_scored;
-      b.exhausted = st.exhausted;
-      b.rng = st.rng.state();
-      b.best_distance = st.best.distance;
-      b.best_sketch = expr_text(st.best.sketch);
-      b.best_handler = expr_text(st.best.handler);
-      ck.buckets.push_back(std::move(b));
-    }
+    for (const auto& st : states) ck.buckets.push_back(bucket_state_to_checkpoint(st));
     for (const auto& c : candidates) {
       ck.candidates.push_back({c.distance, expr_text(c.sketch), expr_text(c.handler)});
     }
@@ -617,17 +576,12 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       bool consistent = ck.buckets.size() == states.size();
       for (std::size_t idx : ck.live) consistent = consistent && idx < states.size();
       auto restore_scored = [&](const ScoredHandlerCheckpoint& c) {
-        ScoredHandler sh;
-        sh.distance = c.distance;
-        if (!c.sketch.empty()) {
-          auto p = dsl::parse(c.sketch);
-          if (p) sh.sketch = p.expr; else consistent = false;
+        auto r = parse_scored_handler(c.distance, c.sketch, c.handler);
+        if (!r.ok()) {
+          consistent = false;
+          return ScoredHandler{};
         }
-        if (!c.handler.empty()) {
-          auto p = dsl::parse(c.handler);
-          if (p) sh.handler = p.expr; else consistent = false;
-        }
-        return sh;
+        return *r;
       };
       for (const auto& bc : ck.buckets) {
         auto it = std::find_if(states.begin(), states.end(), [&](const BucketState& s) {
@@ -637,23 +591,12 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
           consistent = false;
           break;
         }
-        BucketState& st = *it;
-        st.handlers_scored = bc.handlers_scored;
-        st.exhausted = bc.exhausted;
-        st.rng.set_state(bc.rng);
-        st.best = restore_scored({bc.best_distance, bc.best_sketch, bc.best_handler});
         // Sketches are re-derived, not deserialized: the SMT enumerator is
-        // deterministic, so pulling the recorded count reproduces the list.
-        if (bc.sketches > 0) {
-          make_enumerator(st);
-          while (st.sketches.size() < bc.sketches) {
-            auto s = st.enumerator->next();
-            if (!s) {
-              consistent = false;
-              break;
-            }
-            st.sketches.push_back(std::move(*s));
-          }
+        // deterministic, so pulling the recorded count reproduces the list
+        // (bucket_state_from_checkpoint, shared with shard reassignment).
+        if (auto st = bucket_state_from_checkpoint(dsl, opts, bc, &*it); !st.is_ok()) {
+          consistent = false;
+          break;
         }
       }
       result.best = restore_scored(ck.best);
@@ -723,6 +666,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     pool->parallel_for(live.size(), [&](std::size_t i) {
       score_bucket(states[live[i]], static_cast<std::size_t>(n), iter, working);
     });
+    fold_pass(live);
 
     // Rank buckets by score.
     std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
@@ -795,6 +739,7 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
       std::vector<trace::Segment> final_working;
       for (std::size_t idx : sampler.selected()) final_working.push_back(segments[idx]);
       score_bucket(states[live[0]], opts.exhaustive_cap, iter, final_working);
+      fold_pass(live);
       break;
     }
 
@@ -830,21 +775,29 @@ SynthesisResult synthesize(const dsl::Dsl& dsl, const std::vector<trace::Segment
     c_validated.add(unique.size());
     std::mutex val_mu;
     ScoredHandler winner;
+    std::size_t winner_idx = unique.size();
     pool->parallel_for(unique.size(), [&](std::size_t i) {
       // Snapshot the winner's distance as the abandon bound: it only ever
       // shrinks, so a candidate abandoned against a stale value is also at
-      // or above the final minimum and could never have been selected.
+      // or above the final minimum and could never have been selected. The
+      // bound sits one ULP above the incumbent so an equal-distance
+      // candidate finishes scoring and reaches the index tie-break below —
+      // abandonment triggers at >= the cutoff.
       double cutoff = std::numeric_limits<double>::infinity();
       if (opts.early_abandon) {
         std::lock_guard lk(val_mu);
-        cutoff = winner.distance;
+        cutoff = std::nextafter(winner.distance, std::numeric_limits<double>::infinity());
       }
       const double d =
           total_distance(*unique[i].handler, validation, opts.metric, opts.dopts, {}, cutoff);
       std::lock_guard lk(val_mu);
-      if (d < winner.distance) {
+      // Deterministic despite completion order: minimum by (distance,
+      // candidate index), which equals the coordinator's sequential
+      // first-wins fold over the same deduplicated candidate list.
+      if (d < winner.distance || (d == winner.distance && i < winner_idx)) {
         winner = unique[i];
         winner.distance = d;
+        winner_idx = i;
       }
     });
     if (winner.valid()) result.best = winner;

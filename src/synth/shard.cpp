@@ -1,0 +1,219 @@
+#include "synth/shard.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "dsl/parse.hpp"
+#include "obs/registry.hpp"
+
+namespace abg::synth {
+
+std::uint64_t bucket_rng_seed(const std::string& label, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  for (char c : label) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
+  return h;
+}
+
+distance::DistanceOptions effective_distance_options(const SynthesisOptions& opts) {
+  distance::DistanceOptions dopts = opts.dopts;
+  if (opts.simd != distance::Simd::kAuto) dopts.simd = opts.simd;
+  return dopts;
+}
+
+void ensure_bucket_enumerator(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                              BucketSearchState& st) {
+  if (st.enumerator || st.exhausted) return;
+  EnumeratorOptions eopts;
+  eopts.unit_check = opts.unit_check;
+  eopts.bucket = st.bucket.ops;
+  eopts.max_holes = opts.max_holes;
+  eopts.max_depth = opts.max_depth;
+  eopts.max_nodes = opts.max_nodes;
+  st.enumerator = std::make_unique<SketchEnumerator>(dsl, eopts);
+}
+
+void enumerate_bucket_sketches(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                               BucketSearchState& st, std::size_t target,
+                               const std::function<bool()>& stop) {
+  static auto& c_sketches = obs::counter("synth.sketches_enumerated");
+  ensure_bucket_enumerator(dsl, opts, st);
+  // Always enumerate at least one sketch so an expired budget still returns
+  // the best handler seen (§4.4's interrupt semantics).
+  while (st.sketches.size() < target && !st.exhausted && (st.sketches.empty() || !stop())) {
+    auto s = st.enumerator->next();
+    if (!s) {
+      st.exhausted = true;
+      break;
+    }
+    c_sketches.add();
+    st.sketches.push_back(std::move(*s));
+  }
+}
+
+ScoredHandler score_bucket_pass(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                                BucketSearchState& st,
+                                const std::vector<trace::Segment>& working, EvalContext* ctx,
+                                const std::function<bool()>& stop) {
+  ScoredHandler bucket_best;
+  for (const auto& sk : st.sketches) {
+    // Bound by this bucket's own best, not the global one: the per-bucket
+    // minimum feeds the top-k ranking and must stay exact.
+    if (ctx) ctx->abandon_above = bucket_best.distance;
+    auto scored =
+        score_sketch(sk, working, dsl.constant_pool, opts, st.rng, &st.handlers_scored, ctx);
+    if (scored.distance < bucket_best.distance) bucket_best = scored;
+    if (stop() && bucket_best.valid()) break;
+  }
+  st.best = bucket_best;
+  return bucket_best;
+}
+
+util::Result<ScoredHandler> parse_scored_handler(double distance, const std::string& sketch_text,
+                                                 const std::string& handler_text) {
+  ScoredHandler sh;
+  sh.distance = distance;
+  if (!sketch_text.empty()) {
+    auto p = dsl::parse(sketch_text);
+    if (!p) {
+      return util::Status(util::StatusCode::kParseError,
+                          "unparseable sketch text '" + sketch_text + "'");
+    }
+    sh.sketch = p.expr;
+  }
+  if (!handler_text.empty()) {
+    auto p = dsl::parse(handler_text);
+    if (!p) {
+      return util::Status(util::StatusCode::kParseError,
+                          "unparseable handler text '" + handler_text + "'");
+    }
+    sh.handler = p.expr;
+  }
+  return sh;
+}
+
+BucketCheckpoint bucket_state_to_checkpoint(const BucketSearchState& st) {
+  BucketCheckpoint b;
+  b.label = st.bucket.label;
+  b.sketches = st.sketches.size();
+  b.handlers_scored = st.handlers_scored;
+  b.exhausted = st.exhausted;
+  b.rng = st.rng.state();
+  b.best_distance = st.best.distance;
+  b.best_sketch = st.best.sketch ? dsl::to_string(*st.best.sketch) : std::string();
+  b.best_handler = st.best.handler ? dsl::to_string(*st.best.handler) : std::string();
+  return b;
+}
+
+util::Status bucket_state_from_checkpoint(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                                          const BucketCheckpoint& ck, BucketSearchState* st) {
+  st->handlers_scored = ck.handlers_scored;
+  st->exhausted = ck.exhausted;
+  st->rng.set_state(ck.rng);
+  auto best = parse_scored_handler(ck.best_distance, ck.best_sketch, ck.best_handler);
+  if (!best.ok()) return best.status().with_context("bucket " + ck.label);
+  st->best = *best;
+  // Sketches are re-derived, not deserialized: the SMT enumerator is
+  // deterministic, so pulling the recorded count reproduces the list. This
+  // intentionally does NOT count into synth.sketches_enumerated — the
+  // original enumeration already did (checkpoint resume has the same rule).
+  st->sketches.clear();
+  st->enumerator.reset();
+  if (ck.sketches > 0) {
+    const bool was_exhausted = st->exhausted;
+    st->exhausted = false;  // re-open for re-derivation
+    ensure_bucket_enumerator(dsl, opts, *st);
+    while (st->sketches.size() < ck.sketches) {
+      auto s = st->enumerator->next();
+      if (!s) {
+        return util::Status(util::StatusCode::kParseError,
+                            "bucket " + ck.label + " records " + std::to_string(ck.sketches) +
+                                " sketches but the enumerator produced only " +
+                                std::to_string(st->sketches.size()));
+      }
+      st->sketches.push_back(std::move(*s));
+    }
+    st->exhausted = was_exhausted;
+  }
+  return util::Status::ok();
+}
+
+ShardEngine::ShardEngine(dsl::Dsl dsl, std::vector<trace::Segment> segments,
+                         SynthesisOptions opts)
+    : dsl_(std::move(dsl)), segments_(std::move(segments)), opts_(std::move(opts)) {
+  opts_.dopts = effective_distance_options(opts_);
+  pool_fingerprint_ = segment_set_fingerprint(segments_);
+  pool_ = std::make_unique<util::ThreadPool>(
+      opts_.threads == 0 ? std::thread::hardware_concurrency() : opts_.threads);
+  for (auto& b : make_buckets(dsl_)) bucket_defs_.emplace(b.label, std::move(b));
+}
+
+util::Status ShardEngine::add_bucket(const std::string& label) {
+  auto it = bucket_defs_.find(label);
+  if (it == bucket_defs_.end()) {
+    return util::Status(util::StatusCode::kInvalidArgument,
+                        "DSL '" + dsl_.name + "' has no bucket '" + label + "'");
+  }
+  BucketSearchState st;
+  st.bucket = it->second;
+  st.rng = util::Rng(bucket_rng_seed(label, opts_.seed));
+  states_.erase(label);
+  states_.emplace(label, std::move(st));
+  return util::Status::ok();
+}
+
+util::Status ShardEngine::adopt_bucket(const BucketCheckpoint& ck) {
+  auto it = bucket_defs_.find(ck.label);
+  if (it == bucket_defs_.end()) {
+    return util::Status(util::StatusCode::kInvalidArgument,
+                        "DSL '" + dsl_.name + "' has no bucket '" + ck.label + "'");
+  }
+  BucketSearchState st;
+  st.bucket = it->second;
+  if (auto s = bucket_state_from_checkpoint(dsl_, opts_, ck, &st); !s.is_ok()) return s;
+  states_.erase(ck.label);
+  states_.emplace(ck.label, std::move(st));
+  return util::Status::ok();
+}
+
+bool ShardEngine::has_bucket(const std::string& label) const {
+  return states_.count(label) != 0;
+}
+
+util::Result<std::vector<BucketCheckpoint>> ShardEngine::run_pass(
+    const std::vector<std::string>& labels, std::size_t target,
+    const std::vector<std::size_t>& working_indices, const util::CancellationToken* cancel) {
+  for (const auto& label : labels) {
+    if (!states_.count(label)) {
+      return util::Status(util::StatusCode::kInvalidArgument,
+                          "shard does not own bucket '" + label + "'");
+    }
+  }
+  std::vector<trace::Segment> working;
+  for (std::size_t idx : working_indices) {
+    if (idx >= segments_.size()) {
+      return util::Status(util::StatusCode::kInvalidArgument,
+                          "working index " + std::to_string(idx) + " out of range (pool has " +
+                              std::to_string(segments_.size()) + " segments)");
+    }
+    working.push_back(segments_[idx]);
+  }
+  if (working.empty()) working = segments_;  // tiny pools: use everything
+  auto stop = [cancel] { return cancel != nullptr && cancel->cancelled(); };
+  pool_->parallel_for(labels.size(), [&](std::size_t i) {
+    BucketSearchState& st = states_.at(labels[i]);
+    enumerate_bucket_sketches(dsl_, opts_, st, target, stop);
+    EvalContext ctx;
+    ctx.cache = opts_.use_eval_cache ? &cache_ : nullptr;
+    ctx.fingerprint = opts_.use_eval_cache ? segment_set_fingerprint(working) : 0;
+    ctx.cancel = cancel;
+    ctx.cache_hit_tally = &cache_hits_;
+    ctx.cache_miss_tally = &cache_misses_;
+    score_bucket_pass(dsl_, opts_, st, working, &ctx, stop);
+  });
+  std::vector<BucketCheckpoint> out;
+  out.reserve(labels.size());
+  for (const auto& label : labels) out.push_back(bucket_state_to_checkpoint(states_.at(label)));
+  return out;
+}
+
+}  // namespace abg::synth

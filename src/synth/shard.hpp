@@ -1,0 +1,144 @@
+// Shard-able refinement entry points (ISSUE 9). The single-process loop in
+// refinement.cpp and the distributed coordinator/worker pair in src/dist/
+// must run *the same* per-bucket pass — enumerate sketches to a target, then
+// re-score every sketch under the current working set with the bucket-best
+// abandon bound — or the distributed winner cannot be bit-identical to a
+// single-process run. This header exports that pass, the per-bucket state it
+// mutates, and the checkpoint conversions a worker uses to hand its state
+// back to the coordinator (and to adopt a dead peer's state).
+//
+// Determinism contract: a bucket pass is a pure function of (bucket state at
+// pass entry, enumeration target, working segment set, SynthesisOptions).
+// The RNG advances sequentially across passes, so replaying a pass from a
+// checkpointed entry state reproduces exactly what the original process
+// would have produced — that is the whole recovery story for worker death.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/buckets.hpp"
+#include "synth/checkpoint.hpp"
+#include "synth/enumerator.hpp"
+#include "synth/eval_cache.hpp"
+#include "synth/refinement.hpp"
+#include "trace/trace.hpp"
+#include "util/cancellation.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abg::synth {
+
+// Deterministic per-bucket RNG seed: every process that searches bucket
+// `label` under run seed `seed` must derive the same stream (FNV-1a over the
+// label, keyed by the seed). Exported so workers seed fresh buckets exactly
+// as the single-process loop does.
+std::uint64_t bucket_rng_seed(const std::string& label, std::uint64_t seed);
+
+// The effective distance options for a run: SynthesisOptions::simd, when
+// explicit, wins over whatever dopts carries (one knob, not two).
+distance::DistanceOptions effective_distance_options(const SynthesisOptions& opts);
+
+// Mutable per-bucket search state kept across iterations. The single-process
+// loop's BucketState derives from this (adding obs/journal caches); workers
+// hold these directly.
+struct BucketSearchState {
+  Bucket bucket;
+  std::unique_ptr<SketchEnumerator> enumerator;  // created on first use
+  std::vector<dsl::ExprPtr> sketches;            // enumerated so far
+  ScoredHandler best;                            // best under the *current* segment set
+  std::size_t handlers_scored = 0;
+  bool exhausted = false;
+  util::Rng rng{0};
+};
+
+// Create st.enumerator from the run options (idempotent; no-op when already
+// built or the bucket is exhausted).
+void ensure_bucket_enumerator(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                              BucketSearchState& st);
+
+// Enumerate until st holds `target` sketches or the bucket is exhausted,
+// counting into "synth.sketches_enumerated". Always enumerates at least one
+// sketch even when `stop` fires, so an expired budget still returns the best
+// handler seen (§4.4's interrupt semantics).
+void enumerate_bucket_sketches(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                               BucketSearchState& st, std::size_t target,
+                               const std::function<bool()>& stop);
+
+// Re-score ALL of st's sketches under `working` (Algorithm 1 line 5), each
+// sketch bounded by the bucket's own running best (the per-bucket minimum
+// feeds the top-k ranking and must stay exact). Sets st.best and returns it.
+// `stop` is polled after every sketch; once a valid best exists a fired stop
+// ends the pass with best-so-far.
+ScoredHandler score_bucket_pass(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                                BucketSearchState& st,
+                                const std::vector<trace::Segment>& working, EvalContext* ctx,
+                                const std::function<bool()>& stop);
+
+// Parse a (distance, sketch text, handler text) triple back into a
+// ScoredHandler; empty texts stay null. kParseError on malformed text.
+util::Result<ScoredHandler> parse_scored_handler(double distance, const std::string& sketch_text,
+                                                 const std::string& handler_text);
+
+// Snapshot / restore one bucket's state. Restore re-derives the sketch list
+// by re-enumeration (the SMT enumerator is deterministic; sketches are never
+// serialized) — identical to checkpoint resume in the single-process loop.
+BucketCheckpoint bucket_state_to_checkpoint(const BucketSearchState& st);
+util::Status bucket_state_from_checkpoint(const dsl::Dsl& dsl, const SynthesisOptions& opts,
+                                          const BucketCheckpoint& ck, BucketSearchState* st);
+
+// One worker's share of a distributed refinement search: a set of bucket
+// states plus the evaluation infrastructure (thread pool, memo cache) to run
+// passes over them. The coordinator drives it through add/adopt/run_pass;
+// tools/abagnale_worker exposes the same surface over HTTP.
+class ShardEngine {
+ public:
+  // The segment pool must be the full pool of the job (workers rebuild it
+  // deterministically from the spec; the coordinator cross-checks via
+  // pool_fingerprint()). `opts` is the job's SynthesisOptions; SIMD choice
+  // is folded into the distance options once, as synthesize() does.
+  ShardEngine(dsl::Dsl dsl, std::vector<trace::Segment> segments, SynthesisOptions opts);
+
+  // Start searching `label` from scratch (fresh RNG from bucket_rng_seed).
+  // kInvalidArgument when the DSL has no such bucket.
+  util::Status add_bucket(const std::string& label);
+  // Adopt a bucket mid-search from a checkpoint (shard reassignment after a
+  // worker death). Overwrites any existing state for the label, so re-sends
+  // are idempotent.
+  util::Status adopt_bucket(const BucketCheckpoint& ck);
+  bool has_bucket(const std::string& label) const;
+
+  // Run one refinement pass: for each label, enumerate to `target` then
+  // re-score all sketches under the working subset (`working_indices` into
+  // the segment pool; empty = the whole pool, matching the tiny-pool rule in
+  // synthesize()). Buckets run in parallel on the engine's pool. Returns the
+  // post-pass checkpoints in input-label order.
+  util::Result<std::vector<BucketCheckpoint>> run_pass(
+      const std::vector<std::string>& labels, std::size_t target,
+      const std::vector<std::size_t>& working_indices,
+      const util::CancellationToken* cancel = nullptr);
+
+  std::uint64_t pool_fingerprint() const { return pool_fingerprint_; }
+  std::size_t segment_count() const { return segments_.size(); }
+  std::uint64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  std::uint64_t cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
+
+ private:
+  dsl::Dsl dsl_;
+  std::vector<trace::Segment> segments_;
+  SynthesisOptions opts_;
+  std::uint64_t pool_fingerprint_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  EvalCache cache_;
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::map<std::string, Bucket> bucket_defs_;           // every bucket of the DSL
+  std::map<std::string, BucketSearchState> states_;     // the ones this shard owns
+};
+
+}  // namespace abg::synth
